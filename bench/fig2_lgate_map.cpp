@@ -1,0 +1,53 @@
+// Fig. 2 reproduction: the systematic across-field Lgate map.  Prints the
+// ASCII rendition of the exposure-field polynomial (dark = long gates =
+// slow silicon, lower-left) plus the systematic deviation at the paper's
+// four reference core locations A..D.
+
+#include <cstdio>
+
+#include "liberty/physics.hpp"
+#include "util/table.hpp"
+#include "variation/field.hpp"
+
+#include "common.hpp"
+
+int main() {
+  using namespace vipvt;
+  bench::print_header("Fig. 2", "systematic variation aware Lgate map");
+
+  CharParams cp;
+  const ExposureField field = ExposureField::scaled_65nm(cp);
+
+  std::printf("exposure field: %.0f x %.0f mm, nominal Lgate %.1f nm, "
+              "max systematic deviation +/- %.1f %%\n\n",
+              field.field_mm(), field.field_mm(), field.lgate_nom(),
+              field.max_dev_frac() * 100.0);
+  std::printf("%s\n", field.ascii_map(36).c_str());
+  std::printf("(dark '#' = +%.1f %% Lgate, slowest; ' ' = -%.1f %%, "
+              "fastest; origin at lower-left)\n\n",
+              field.max_dev_frac() * 100.0, field.max_dev_frac() * 100.0);
+
+  Table t({"core position", "field x/y [mm]", "Lgate [nm]", "deviation",
+           "expected behaviour (paper)"});
+  const char* expect[] = {
+      "slowest: all stages violate", "EX+DC violate", "only EX violates",
+      "nominal performance"};
+  int idx = 0;
+  for (char p : {'A', 'B', 'C', 'D'}) {
+    const DieLocation loc = DieLocation::point(p);
+    const Point f = loc.field_mm({0.0, 0.0});
+    const double lg = field.lgate_at(f.x, f.y);
+    t.add_row({std::string(1, p), Table::num(f.x, 2) + "/" + Table::num(f.y, 2),
+               Table::num(lg, 2),
+               Table::pct((lg - field.lgate_nom()) / field.lgate_nom(), 2),
+               expect[idx++]});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("paper: 2nd-order polynomial of exposure-field position "
+              "(Eq. 1), coefficients scaled from 130 nm measurements so the\n"
+              "systematic component spans +/- 5.5 %% at 65 nm; slowest corner "
+              "at the lower-left of the field.  Reproduced: same form,\n"
+              "same span, same orientation.\n");
+  return 0;
+}

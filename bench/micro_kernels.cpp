@@ -1,0 +1,139 @@
+// google-benchmark microkernels for the engines the reproduction runs in
+// its inner loops: annotated STA passes, Monte-Carlo factor draws, logic
+// simulation cycles, power rollups, placement, and island trials.  These
+// bound the cost of the methodology itself (the paper's design-time
+// overhead argument).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "power/power.hpp"
+#include "sim/stimulus.hpp"
+#include "timing/recovery.hpp"
+#include "timing/sta.hpp"
+#include "variation/mc_ssta.hpp"
+
+namespace {
+
+using namespace vipvt;
+
+/// Shared lazily-built full-size context (building per-benchmark would
+/// dominate the timings).
+struct Context {
+  Context() : lib(make_st65lp_like()), design(make_vex_design(lib, VexConfig{})),
+              fp(Floorplan::for_design(design, FloorplanConfig{})), db(fp) {
+    place_design(design, fp, PlacerConfig{}, db);
+    sta = std::make_unique<StaEngine>(design, StaOptions{});
+    sta->set_clock_period(sta->min_period() * 1.04);
+    recover_power(design, *sta, RecoveryConfig{});
+    field = std::make_unique<ExposureField>(
+        ExposureField::scaled_65nm(lib.char_params()));
+    model = std::make_unique<VariationModel>(lib.char_params(), *field);
+  }
+  Library lib;
+  Design design;
+  Floorplan fp;
+  PlacementDb db;
+  std::unique_ptr<StaEngine> sta;
+  std::unique_ptr<ExposureField> field;
+  std::unique_ptr<VariationModel> model;
+};
+
+Context& ctx() {
+  static Context c;
+  return c;
+}
+
+void BM_StaAnalyzeNominal(benchmark::State& state) {
+  auto& c = ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.sta->analyze());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.sta->num_edges()));
+}
+BENCHMARK(BM_StaAnalyzeNominal)->Unit(benchmark::kMillisecond);
+
+void BM_StaComputeBase(benchmark::State& state) {
+  auto& c = ctx();
+  for (auto _ : state) {
+    c.sta->compute_base_all_low();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.sta->num_edges()));
+}
+BENCHMARK(BM_StaComputeBase)->Unit(benchmark::kMillisecond);
+
+void BM_McSample(benchmark::State& state) {
+  auto& c = ctx();
+  Rng rng(77);
+  std::vector<double> factors;
+  const DieLocation loc = DieLocation::point('A');
+  for (auto _ : state) {
+    c.model->draw_factors(c.design, *c.sta, loc, rng, factors);
+    benchmark::DoNotOptimize(c.sta->analyze(factors));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.design.num_instances()));
+}
+BENCHMARK(BM_McSample)->Unit(benchmark::kMillisecond);
+
+void BM_InstanceSlack(benchmark::State& state) {
+  auto& c = ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.sta->instance_slack());
+  }
+}
+BENCHMARK(BM_InstanceSlack)->Unit(benchmark::kMillisecond);
+
+void BM_SimCycleFir(benchmark::State& state) {
+  auto& c = ctx();
+  LogicSimulator sim(c.design);
+  FirStimulus stim(c.design, VexConfig{}, 3);
+  for (auto _ : state) {
+    stim.step(sim);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(c.design.num_instances()));
+}
+BENCHMARK(BM_SimCycleFir)->Unit(benchmark::kMillisecond);
+
+void BM_PowerRollup(benchmark::State& state) {
+  auto& c = ctx();
+  const ActivityDb activity = ActivityDb::uniform(c.design, 0.12);
+  PowerEngine engine(c.design, activity);
+  PowerConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute({}, cfg));
+  }
+}
+BENCHMARK(BM_PowerRollup)->Unit(benchmark::kMillisecond);
+
+void BM_PlaceFullCore(benchmark::State& state) {
+  Library lib = make_st65lp_like();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Design d = make_vex_design(lib, VexConfig{});
+    Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+    PlacementDb db(fp);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(place_design(d, fp, PlacerConfig{}, db));
+  }
+}
+BENCHMARK(BM_PlaceFullCore)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_BuildVexNetlist(benchmark::State& state) {
+  Library lib = make_st65lp_like();
+  for (auto _ : state) {
+    Design d = make_vex_design(lib, VexConfig{});
+    benchmark::DoNotOptimize(d.num_instances());
+  }
+}
+BENCHMARK(BM_BuildVexNetlist)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Table 1 reproduction: area and power breakdown of the VEX core by
+// functional unit, under the FIR workload.  The paper reports (area %,
+// power %): Register File 53/64.1, Execute 26.3/16.9, Decode 13.6/8.6,
+// Write Back 0.04/0.1, Fetch 0.09/0.03, Pipe Regs 6.9/10.3.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "power/power.hpp"
+#include "util/table.hpp"
+
+#include "common.hpp"
+
+namespace {
+
+using namespace vipvt;
+
+/// Maps a unit path to one of the paper's Table-1 groups.
+std::string group_of(const std::string& unit) {
+  auto starts = [&](const char* p) { return unit.rfind(p, 0) == 0; };
+  if (starts("regfile")) return "Register File";
+  if (starts("execute")) return "Execute";
+  if (starts("decode") || starts("branch")) return "Decode";
+  if (starts("commit")) return "Write Back";
+  if (starts("fetch")) return "Fetch";
+  if (starts("pipe")) return "Pipe Regs";
+  if (starts("level_shifters")) return "Level Shifters";
+  return "Other";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vipvt;
+  bench::print_header("Table 1", "area and power breakdown for the VEX core");
+
+  auto flow = bench::make_flow(SliceDir::Vertical, /*through_activity=*/true);
+  const Design& d = flow->design();
+
+  // Area and power per group (nominal all-low supply, FIR activity).
+  const PowerBreakdown p = flow->power_all_low(DieLocation::point('A'));
+  std::map<std::string, double> area, power;
+  for (std::size_t u = 0; u < d.unit_names().size(); ++u) {
+    const std::string g = group_of(d.unit_names()[u]);
+    area[g] += d.unit_area(static_cast<UnitId>(u));
+    power[g] += p.per_unit_mw[u];
+  }
+  const double total_area = d.total_area();
+  const double total_power = p.total_mw();
+
+  std::printf("total: area %.0f um^2, power %.3f mW at %.1f MHz "
+              "(leakage share %s)\n\n",
+              total_area, total_power, 1e3 / flow->post_shifter_clock_ns(),
+              Table::pct(p.leakage_mw / total_power, 2).c_str());
+
+  struct PaperRow {
+    const char* group;
+    double area_pct;
+    double power_pct;
+  };
+  const PaperRow paper[] = {
+      {"Register File", 53.0, 64.13}, {"Execute", 26.34, 16.89},
+      {"Decode", 13.63, 8.57},        {"Write Back", 0.04, 0.1},
+      {"Fetch", 0.09, 0.03},          {"Pipe Regs", 6.9, 10.28},
+  };
+
+  Table t({"unit", "area % (ours)", "area % (paper)", "power % (ours)",
+           "power % (paper)"});
+  for (const auto& row : paper) {
+    t.add_row({row.group, Table::pct(area[row.group] / total_area, 2),
+               Table::num(row.area_pct, 2) + "%",
+               Table::pct(power[row.group] / total_power, 2),
+               Table::num(row.power_pct, 2) + "%"});
+  }
+  for (const auto& [g, a] : area) {
+    bool in_paper = false;
+    for (const auto& row : paper) in_paper |= (g == row.group);
+    if (in_paper) continue;
+    t.add_row({g, Table::pct(a / total_area, 2), "-",
+               Table::pct(power[g] / total_power, 2), "-"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("shape check: the fully synthesized register file dominates "
+              "both area and power; Execute is second; Fetch/Write-Back\n"
+              "logic is small.  Our Write Back carries the commit units "
+              "(saturation/flags), which the paper's RTL kept minimal;\n"
+              "the Level Shifters row exists because this design already "
+              "contains the voltage-island shifters.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Die-location explorer: sweep the core position across the chip
+// diagonal AND across rows/columns of the exposure field, printing the
+// violation scenario and the island configuration the controller would
+// choose at each point.  Illustrates how the same fabricated design
+// needs different compensation depending on where each die sat on the
+// wafer's exposure field.
+
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "vi/flow.hpp"
+
+int main() {
+  using namespace vipvt;
+
+  FlowConfig cfg;
+  cfg.vex = VexConfig::tiny();
+  cfg.floorplan.target_utilization = 0.55;
+  cfg.scenario.mc.samples = 120;
+  cfg.islands.mc_samples = 80;
+
+  Flow flow(cfg);
+  flow.plan_sensors();
+  CompensationController ctrl = flow.make_controller();
+  MonteCarloSsta mc(flow.design(), flow.sta(), flow.variation());
+  McConfig mcc;
+  mcc.samples = 120;
+
+  std::printf("core: %zu cells, %d islands planned, clock %.3f ns\n\n",
+              flow.design().num_instances(), flow.island_plan().num_islands(),
+              flow.post_shifter_clock_ns());
+
+  // 2-D sweep over the chip: a 4x4 grid of core positions.
+  Table t({"core @ (x,y) mm", "systematic dev", "severity (SSTA)",
+           "islands raised (chip)", "timing"});
+  Rng rng(2718);
+  for (int gy = 3; gy >= 0; --gy) {
+    for (int gx = 0; gx < 4; ++gx) {
+      DieLocation loc;
+      loc.core_origin_mm = {gx * 14.0 / 3.0 * 0.9, gy * 14.0 / 3.0 * 0.9};
+      flow.sta().compute_base_all_low();
+      const McResult res = mc.run(loc, mcc);
+      const VirtualChip chip =
+          fabricate_chip(flow.design(), flow.variation(), loc, rng);
+      const CompensationOutcome out = ctrl.compensate(chip);
+      const Point f = loc.field_mm({0, 0});
+      t.add_row({Table::num(loc.core_origin_mm.x, 1) + "," +
+                     Table::num(loc.core_origin_mm.y, 1),
+                 Table::pct(flow.field().deviation_at(f.x, f.y), 1),
+                 std::to_string(res.num_violating_stages()),
+                 std::to_string(out.islands_raised),
+                 out.timing_met ? "met" : "VIOLATED"});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("reading: severity falls from the slow (lower-left) to the "
+              "fast (upper-right) corner of the exposure field; the\n"
+              "controller raises only as many islands as each die needs.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Razor sensor tuning on virtual silicon: how the SSTA-driven sensor
+// budget trades area overhead against detection coverage.  For each
+// criticality-probability threshold, plan sensors from the worst-case MC
+// results, then fabricate a batch of chips at the worst corner and
+// measure how many true violations the (reduced) sensor set catches.
+
+#include <cstdio>
+
+#include "util/table.hpp"
+#include "vi/flow.hpp"
+
+int main() {
+  using namespace vipvt;
+
+  FlowConfig cfg;
+  cfg.vex = VexConfig::tiny();
+  cfg.floorplan.target_utilization = 0.55;
+  cfg.scenario.mc.samples = 150;
+  cfg.islands.mc_samples = 80;
+
+  Flow flow(cfg);
+  flow.plan_sensors();  // builds worst-case MC + applies the default plan
+  const McResult& worst_mc = flow.worst_case_mc();
+  const std::size_t flops = flow.design().num_flops();
+  const DieLocation loc = DieLocation::point('A');
+
+  std::printf("core: %zu cells / %zu flops, clock %.3f ns\n\n",
+              flow.design().num_instances(), flops,
+              flow.post_shifter_clock_ns());
+
+  Table t({"threshold", "sensors", "flop share", "area overhead [um^2]",
+           "violations caught", "missed"});
+  for (double thr : {0.0, 0.02, 0.10, 0.30, 0.60}) {
+    RazorConfig rc;
+    rc.crit_prob_threshold = thr;
+    const RazorPlan plan = plan_razor_sensors(flow.sta(), worst_mc, rc);
+
+    // Detection experiment: 20 chips at the worst corner; a violation is
+    // "caught" if some sensored endpoint sees it at the all-low supply.
+    Rng rng(thr * 1000 + 7);
+    int violating = 0, caught = 0;
+    for (int c = 0; c < 20; ++c) {
+      const VirtualChip chip =
+          fabricate_chip(flow.design(), flow.variation(), loc, rng);
+      flow.sta().compute_base_all_low();
+      std::vector<double> factors(chip.lgate_nm.size());
+      for (InstId i = 0; i < factors.size(); ++i) {
+        factors[i] = flow.variation().delay_factor(
+            chip.lgate_nm[i], flow.sta().inst_corner(i),
+            flow.design().cell_of(i).vth);
+      }
+      const StaResult truth = flow.sta().analyze(factors);
+      if (truth.wns >= 0.0) continue;
+      ++violating;
+      const auto flags = sensor_flags(flow.sta(), plan, truth);
+      bool any = false;
+      for (bool f : flags) any |= f;
+      caught += any;
+    }
+
+    const Cell& razor =
+        flow.lib().cell(flow.lib().cell_for(CellFunc::RazorDff));
+    const Cell& dff = flow.lib().cell(flow.lib().cell_for(CellFunc::Dff));
+    const double overhead =
+        static_cast<double>(plan.total()) * (razor.area_um2 - dff.area_um2);
+    t.add_row({Table::num(thr, 2), std::to_string(plan.total()),
+               Table::pct(static_cast<double>(plan.total()) /
+                              static_cast<double>(flops), 1),
+               Table::num(overhead, 0),
+               violating ? std::to_string(caught) + "/" +
+                               std::to_string(violating)
+                         : "0/0",
+               std::to_string(violating - caught)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("reading: threshold 0 (= any endpoint that ever violated in "
+              "the MC) already needs only a small fraction of the flops —\n"
+              "the paper's point.  Raising the threshold cuts area further "
+              "but eventually misses real violations.\n");
+  return 0;
+}

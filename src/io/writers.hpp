@@ -1,0 +1,70 @@
+#pragma once
+// EDA interchange writers: dump the design in the standard formats the
+// paper's flow moved between tools ("standard file formats do exist to
+// transfer delay information between tools", §3).  These make the
+// reproduction inspectable with ordinary EDA tooling:
+//
+//   * structural Verilog-2001 netlist       (write_verilog)
+//   * DEF 5.8 placement                     (write_def)
+//   * SDF 3.0 delay annotation              (write_sdf)  — the file the
+//     paper's SSTA loop perturbs and re-imports into PrimeTime
+//   * a Liberty-flavoured library summary   (write_liberty_summary)
+//
+// All writers emit deterministic output (stable ordering) so files can
+// be diffed across runs.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "placement/floorplan.hpp"
+#include "timing/sta.hpp"
+
+namespace vipvt {
+
+struct VerilogOptions {
+  std::string module_name;  ///< defaults to the design name
+  bool with_comments = true;
+};
+
+/// Structural Verilog: one module, library cells as primitives.
+void write_verilog(std::ostream& os, const Design& design,
+                   const VerilogOptions& opts = {});
+
+struct DefOptions {
+  int dbu_per_micron = 1000;
+};
+
+/// DEF: DIEAREA, ROWs, COMPONENTS with PLACED locations, PINS.
+void write_def(std::ostream& os, const Design& design, const Floorplan& fp,
+               const DefOptions& opts = {});
+
+struct SdfOptions {
+  std::string process = "typical";
+  /// Optional per-instance delay factors (e.g. one Monte-Carlo draw or a
+  /// fabricated chip) — the paper's "altered gate delays" SDF.
+  std::span<const double> inst_factor{};
+};
+
+/// SDF 3.0 IOPATH delays from the engine's current base delays.
+void write_sdf(std::ostream& os, const Design& design, const StaEngine& sta,
+               const SdfOptions& opts = {});
+
+/// Liberty-flavoured summary of every cell (area, pins, leakage, a
+/// representative delay point per corner).  Not a full NLDM dump — a
+/// human-auditable characterization record.
+void write_liberty_summary(std::ostream& os, const Library& lib);
+
+/// Convenience: write straight to a file path; throws on I/O failure.
+void write_verilog_file(const std::string& path, const Design& design,
+                        const VerilogOptions& opts = {});
+void write_def_file(const std::string& path, const Design& design,
+                    const Floorplan& fp, const DefOptions& opts = {});
+void write_sdf_file(const std::string& path, const Design& design,
+                    const StaEngine& sta, const SdfOptions& opts = {});
+
+/// Identifier escaping shared by the writers: bus bits and hierarchy
+/// separators become Verilog-safe escaped identifiers.
+std::string verilog_escape(const std::string& name);
+
+}  // namespace vipvt

@@ -1,0 +1,112 @@
+#pragma once
+// Standard-cell model for the synthetic dual-Vdd 65 nm library.
+//
+// Conventions:
+//  * every cell has exactly one output pin, stored last in `pins`;
+//  * combinational cells have one timing arc per non-clock input;
+//  * sequential cells (DFF variants) have a single CLK->Q arc plus
+//    setup/hold constraints on D;
+//  * all timing is characterized at both supply corners (index 0 = low
+//    Vdd, index 1 = high Vdd).
+//
+// Units: time ns, capacitance pF, resistance kOhm, power mW, energy pJ,
+// area um^2.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/lut.hpp"
+#include "liberty/physics.hpp"
+
+namespace vipvt {
+
+using CellId = std::uint32_t;
+inline constexpr CellId kInvalidCell = static_cast<CellId>(-1);
+
+/// Logic function of a cell; drives both simulation semantics and
+/// characterization (logical effort class).
+enum class CellFunc : std::uint8_t {
+  Inv, Buf,
+  Nand2, Nand3, Nand4,
+  Nor2, Nor3,
+  And2, And3,
+  Or2, Or3,
+  Xor2, Xnor2,
+  Aoi21,   // !(a*b + c)
+  Oai21,   // !((a+b) * c)
+  Aoi22,   // !(a*b + c*d)
+  Mux2,    // s ? b : a   (pins: a, b, s)
+  Maj3,    // majority of 3 (full-adder carry)
+  Tie0, Tie1,
+  Dff,          // pins: D, CLK -> Q
+  RazorDff,     // DFF plus shadow latch & comparator (timing sensor)
+  LevelShifter, // logic buffer; crosses a low->high supply boundary
+};
+
+/// Number of logic inputs for a function (clock excluded).
+int func_input_count(CellFunc f);
+/// True for flip-flop-like functions.
+bool func_is_sequential(CellFunc f);
+const char* func_name(CellFunc f);
+
+/// Supply corner index into per-corner characterization arrays.
+enum VddCorner : int { kVddLow = 0, kVddHigh = 1 };
+inline constexpr int kNumCorners = 2;
+
+struct PinSpec {
+  std::string name;
+  bool is_input = true;
+  bool is_clock = false;
+  double cap_pf = 0.0;  ///< input pin capacitance (0 for outputs)
+};
+
+/// Per-corner delay / output-slew surfaces for one timing arc.
+struct ArcTiming {
+  Lut2D delay;
+  Lut2D out_slew;
+};
+
+/// One input->output timing arc.
+struct TimingArc {
+  std::uint16_t from_pin = 0;  ///< index into Cell::pins
+  std::uint16_t to_pin = 0;
+  std::array<ArcTiming, kNumCorners> corner;
+};
+
+struct Cell {
+  std::string name;
+  CellFunc func = CellFunc::Inv;
+  int drive = 1;            ///< drive strength (X1/X2/X4)
+  VthClass vth = VthClass::Svt;  ///< threshold flavour (same footprint/caps)
+  double area_um2 = 0.0;
+  int sites = 1;            ///< width in placement sites
+  std::vector<PinSpec> pins;
+  std::vector<TimingArc> arcs;
+
+  // Sequential constraints (valid when is_sequential()).
+  double setup_ns = 0.0;
+  double hold_ns = 0.0;
+  double clk_q_ns = 0.0;  ///< nominal clk->q at low Vdd (arcs carry the LUTs)
+
+  std::array<double, kNumCorners> leakage_mw{};          ///< at nominal Lgate
+  std::array<double, kNumCorners> internal_energy_pj{};  ///< per output toggle
+
+  bool is_sequential() const { return func_is_sequential(func); }
+  bool is_level_shifter() const { return func == CellFunc::LevelShifter; }
+  bool is_razor() const { return func == CellFunc::RazorDff; }
+  bool is_tie() const { return func == CellFunc::Tie0 || func == CellFunc::Tie1; }
+
+  /// Index of the unique output pin (stored last by construction).
+  std::uint16_t output_pin() const {
+    return static_cast<std::uint16_t>(pins.size() - 1);
+  }
+  int num_inputs() const { return static_cast<int>(pins.size()) - 1; }
+
+  /// Arc from the given input pin, or nullptr if none (e.g. clock pin of
+  /// a combinational cell — which does not exist — or tie cells).
+  const TimingArc* arc_from(std::uint16_t input_pin) const;
+};
+
+}  // namespace vipvt

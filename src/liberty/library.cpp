@@ -1,0 +1,334 @@
+#include "liberty/library.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vipvt {
+
+int func_input_count(CellFunc f) {
+  switch (f) {
+    case CellFunc::Inv:
+    case CellFunc::Buf:
+    case CellFunc::LevelShifter:
+      return 1;
+    case CellFunc::Nand2:
+    case CellFunc::Nor2:
+    case CellFunc::And2:
+    case CellFunc::Or2:
+    case CellFunc::Xor2:
+    case CellFunc::Xnor2:
+      return 2;
+    case CellFunc::Nand3:
+    case CellFunc::Nor3:
+    case CellFunc::And3:
+    case CellFunc::Or3:
+    case CellFunc::Aoi21:
+    case CellFunc::Oai21:
+    case CellFunc::Mux2:
+    case CellFunc::Maj3:
+      return 3;
+    case CellFunc::Nand4:
+    case CellFunc::Aoi22:
+      return 4;
+    case CellFunc::Tie0:
+    case CellFunc::Tie1:
+      return 0;
+    case CellFunc::Dff:
+    case CellFunc::RazorDff:
+      return 1;  // D (clock handled separately)
+  }
+  throw std::logic_error("func_input_count: unknown function");
+}
+
+bool func_is_sequential(CellFunc f) {
+  return f == CellFunc::Dff || f == CellFunc::RazorDff;
+}
+
+const char* func_name(CellFunc f) {
+  switch (f) {
+    case CellFunc::Inv: return "INV";
+    case CellFunc::Buf: return "BUF";
+    case CellFunc::Nand2: return "NAND2";
+    case CellFunc::Nand3: return "NAND3";
+    case CellFunc::Nand4: return "NAND4";
+    case CellFunc::Nor2: return "NOR2";
+    case CellFunc::Nor3: return "NOR3";
+    case CellFunc::And2: return "AND2";
+    case CellFunc::And3: return "AND3";
+    case CellFunc::Or2: return "OR2";
+    case CellFunc::Or3: return "OR3";
+    case CellFunc::Xor2: return "XOR2";
+    case CellFunc::Xnor2: return "XNOR2";
+    case CellFunc::Aoi21: return "AOI21";
+    case CellFunc::Oai21: return "OAI21";
+    case CellFunc::Aoi22: return "AOI22";
+    case CellFunc::Mux2: return "MUX2";
+    case CellFunc::Maj3: return "MAJ3";
+    case CellFunc::Tie0: return "TIE0";
+    case CellFunc::Tie1: return "TIE1";
+    case CellFunc::Dff: return "DFF";
+    case CellFunc::RazorDff: return "RAZOR_DFF";
+    case CellFunc::LevelShifter: return "LS";
+  }
+  return "?";
+}
+
+const TimingArc* Cell::arc_from(std::uint16_t input_pin) const {
+  for (const auto& arc : arcs) {
+    if (arc.from_pin == input_pin) return &arc;
+  }
+  return nullptr;
+}
+
+Library::Library(std::string name, CharParams char_params, WireParams wire,
+                 SiteParams site)
+    : name_(std::move(name)), char_(char_params), wire_(wire), site_(site) {}
+
+CellId Library::add_cell(Cell cell) {
+  cell.sites = std::max(
+      1, static_cast<int>(std::ceil(cell.area_um2 / (site_.row_height_um *
+                                                     site_.site_width_um))));
+  const auto id = static_cast<CellId>(cells_.size());
+  auto [it, inserted] = by_name_.emplace(cell.name, id);
+  if (!inserted) throw std::invalid_argument("duplicate cell: " + cell.name);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+CellId Library::find(const std::string& name) const {
+  return by_name_.at(name);
+}
+
+std::optional<CellId> Library::try_find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+CellId Library::cell_for(CellFunc func) const {
+  CellId best = kInvalidCell;
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (cells_[id].func != func || cells_[id].vth != VthClass::Svt) continue;
+    if (best == kInvalidCell || cells_[id].drive < cells_[best].drive) {
+      best = id;
+    }
+  }
+  if (best == kInvalidCell) {
+    throw std::out_of_range(std::string("no cell for function ") +
+                            func_name(func));
+  }
+  return best;
+}
+
+std::optional<CellId> Library::variant(CellId id, VthClass vth) const {
+  const Cell& base = cells_.at(id);
+  if (base.vth == vth) return id;
+  for (CellId other = 0; other < cells_.size(); ++other) {
+    const Cell& c = cells_[other];
+    if (c.func == base.func && c.drive == base.drive && c.vth == vth) {
+      return other;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Logical-effort-style characterization seed for one function class.
+struct FuncSeed {
+  CellFunc func;
+  double intrinsic_ns;   ///< parasitic delay at drive X1, low Vdd
+  double drive_kohm;     ///< output resistance at X1
+  double in_cap_pf;      ///< input cap per logic pin at X1
+  double base_area_um2;  ///< X1 area
+  double leak_nw;        ///< leakage at low Vdd, nominal Lgate [nW]
+  double internal_fj;    ///< internal energy per output toggle at 1.0 V [fJ]
+};
+
+constexpr double kSlewAxis[] = {0.005, 0.02, 0.05, 0.12, 0.30};  // ns
+constexpr double kLoadAxis[] = {0.0005, 0.002, 0.005, 0.012, 0.030};  // pF
+
+Lut2D make_delay_lut(double intrinsic, double drive_r, double slew_k,
+                     double vscale) {
+  std::vector<double> slews(std::begin(kSlewAxis), std::end(kSlewAxis));
+  std::vector<double> loads(std::begin(kLoadAxis), std::end(kLoadAxis));
+  std::vector<double> vals;
+  vals.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double l : loads) {
+      // Mildly super-linear load term models the RC knee of real NLDM data.
+      const double d =
+          intrinsic + drive_r * l * (1.0 + 0.08 * l / kLoadAxis[4]) +
+          slew_k * s;
+      vals.push_back(d * vscale);
+    }
+  }
+  return Lut2D{std::move(slews), std::move(loads), std::move(vals)};
+}
+
+Lut2D make_slew_lut(double intrinsic, double drive_r, double vscale) {
+  std::vector<double> slews(std::begin(kSlewAxis), std::end(kSlewAxis));
+  std::vector<double> loads(std::begin(kLoadAxis), std::end(kLoadAxis));
+  std::vector<double> vals;
+  vals.reserve(slews.size() * loads.size());
+  for (double s : slews) {
+    for (double l : loads) {
+      const double t = 0.6 * intrinsic + 1.7 * drive_r * l + 0.12 * s;
+      vals.push_back(t * vscale);
+    }
+  }
+  return Lut2D{std::move(slews), std::move(loads), std::move(vals)};
+}
+
+/// Input-pin names for a function (output pin is appended by the caller).
+std::vector<std::string> input_names(CellFunc f) {
+  if (func_is_sequential(f)) return {"D"};
+  switch (func_input_count(f)) {
+    case 0: return {};
+    case 1: return {"A"};
+    case 2: return {"A", "B"};
+    case 3:
+      if (f == CellFunc::Mux2) return {"A", "B", "S"};
+      return {"A", "B", "C"};
+    case 4: return {"A", "B", "C", "D"};
+    default: return {};
+  }
+}
+
+}  // namespace
+
+Library make_st65lp_like() {
+  CharParams cp{};
+  Library lib("st65lp_like", cp, WireParams{}, SiteParams{});
+
+  // Per-corner, per-Vth-class delay scaling from the alpha-power law.
+  // Reference (scale 1.0) is SVT at the low corner.
+  double vscale[kNumVthClasses][kNumCorners];
+  double leak_scale[kNumVthClasses][kNumCorners];
+  const double ref = cp.raw_delay(cp.lgate_nom, cp.vdd_low, cp.vth0);
+  for (int v = 0; v < kNumVthClasses; ++v) {
+    const auto vc = static_cast<VthClass>(v);
+    const double vth0 = cp.vth0_of(vc);
+    vscale[v][kVddLow] = cp.raw_delay(cp.lgate_nom, cp.vdd_low, vth0) / ref;
+    vscale[v][kVddHigh] = cp.raw_delay(cp.lgate_nom, cp.vdd_high, vth0) / ref;
+    leak_scale[v][kVddLow] = cp.leakage_class_ratio(vc);
+    leak_scale[v][kVddHigh] =
+        cp.leakage_class_ratio(vc) * cp.leakage_factor(cp.lgate_nom, cp.vdd_high);
+  }
+  const double dyn_scale[kNumCorners] = {1.0, cp.dynamic_factor(cp.vdd_high)};
+
+  const FuncSeed seeds[] = {
+      // func            t_int    R      Cin      area   leak  E_int
+      {CellFunc::Inv,    0.010, 2.4, 0.0010, 1.44, 1.5, 0.35},
+      {CellFunc::Buf,    0.022, 2.2, 0.0011, 2.16, 2.0, 0.55},
+      {CellFunc::Nand2,  0.014, 2.8, 0.0012, 2.16, 2.2, 0.50},
+      {CellFunc::Nand3,  0.018, 3.3, 0.0013, 2.88, 3.0, 0.65},
+      {CellFunc::Nand4,  0.023, 3.9, 0.0014, 3.60, 3.8, 0.80},
+      {CellFunc::Nor2,   0.016, 3.2, 0.0012, 2.16, 2.4, 0.52},
+      {CellFunc::Nor3,   0.022, 4.1, 0.0013, 2.88, 3.2, 0.70},
+      {CellFunc::And2,   0.024, 2.6, 0.0011, 2.88, 2.8, 0.72},
+      {CellFunc::And3,   0.028, 2.8, 0.0012, 3.60, 3.4, 0.85},
+      {CellFunc::Or2,    0.026, 2.7, 0.0011, 2.88, 2.9, 0.74},
+      {CellFunc::Or3,    0.031, 2.9, 0.0012, 3.60, 3.6, 0.88},
+      {CellFunc::Xor2,   0.034, 3.0, 0.0016, 4.32, 3.9, 1.10},
+      {CellFunc::Xnor2,  0.034, 3.0, 0.0016, 4.32, 3.9, 1.10},
+      {CellFunc::Aoi21,  0.019, 3.4, 0.0012, 2.88, 2.9, 0.60},
+      {CellFunc::Oai21,  0.019, 3.4, 0.0012, 2.88, 2.9, 0.60},
+      {CellFunc::Aoi22,  0.024, 3.8, 0.0013, 3.60, 3.6, 0.75},
+      {CellFunc::Mux2,   0.030, 2.9, 0.0013, 4.32, 3.7, 0.95},
+      {CellFunc::Maj3,   0.030, 3.1, 0.0014, 4.32, 3.8, 1.00},
+      {CellFunc::Tie0,   0.000, 1.0, 0.0000, 1.44, 0.3, 0.00},
+      {CellFunc::Tie1,   0.000, 1.0, 0.0000, 1.44, 0.3, 0.00},
+      {CellFunc::Dff,    0.085, 2.6, 0.0012, 7.92, 6.5, 2.40},
+      // Razor FF: main FF + shadow latch + XOR comparator => roughly 1.8x
+      // area/power of a plain DFF, slightly higher clk->q.
+      {CellFunc::RazorDff, 0.095, 2.6, 0.0013, 14.40, 11.5, 4.10},
+      // Level shifter: cross-coupled pull-up pair; big, slow-ish, and with
+      // static current paths reflected in higher leakage.  The aggregate
+      // area of several thousand shifters is a substantial fraction of
+      // logic area, as Table 2 of the paper finds.
+      {CellFunc::LevelShifter, 0.040, 2.6, 0.0014, 8.0, 9.0, 1.60},
+  };
+
+  const double slew_k = 0.11;  // delay sensitivity to input slew
+
+  for (const auto& seed : seeds) {
+    // Full drive sweep for all plain combinational functions (the sizing
+    // pass needs them) and for level shifters (the inserter picks the
+    // drive by receiving-cluster load); sequential/tie cells come in one
+    // size.
+    const bool one_size = func_is_sequential(seed.func) ||
+                          seed.func == CellFunc::Tie0 ||
+                          seed.func == CellFunc::Tie1;
+    const int max_drive = one_size ? 1 : 4;
+    // Sequential, tie, and special cells exist in SVT only; all plain
+    // combinational functions get the full Vth-flavour sweep.
+    const bool multi_vth = !func_is_sequential(seed.func) &&
+                           seed.func != CellFunc::Tie0 &&
+                           seed.func != CellFunc::Tie1 &&
+                           seed.func != CellFunc::LevelShifter;
+    const int vth_count = multi_vth ? kNumVthClasses : 1;
+    for (int drive = 1; drive <= max_drive; drive *= 2) {
+      for (int v = 0; v < vth_count; ++v) {
+        const auto vc = static_cast<VthClass>(v);
+        Cell cell;
+        cell.func = seed.func;
+        cell.drive = drive;
+        cell.vth = vc;
+        cell.name = std::string(func_name(seed.func)) + "_X" +
+                    std::to_string(drive) + vth_class_suffix(vc);
+        const double ds = static_cast<double>(drive);
+        // Vth flavours share the footprint and pin caps (implant-only
+        // swap), which is what makes power recovery placement-neutral.
+        cell.area_um2 = seed.base_area_um2 * (1.0 + 0.75 * (ds - 1.0));
+
+        for (const auto& pin_name : input_names(seed.func)) {
+          cell.pins.push_back(
+              {pin_name, true, false, seed.in_cap_pf * (0.75 + 0.25 * ds)});
+        }
+        if (cell.is_sequential()) {
+          cell.pins.push_back({"CLK", true, true, 0.0009});
+          cell.setup_ns = 0.035;
+          cell.hold_ns = 0.012;
+          cell.clk_q_ns = seed.intrinsic_ns;
+        }
+        cell.pins.push_back(
+            {cell.is_sequential() ? "Q" : "Z", false, false, 0.0});
+
+        const double drive_r = seed.drive_kohm / ds;
+        const double intrinsic = seed.intrinsic_ns * (1.0 + 0.1 * (ds - 1.0));
+        const auto out = cell.output_pin();
+        for (std::uint16_t p = 0; p < cell.pins.size(); ++p) {
+          if (!cell.pins[p].is_input) continue;
+          if (cell.is_sequential() && !cell.pins[p].is_clock) continue;
+          if (cell.is_tie()) continue;
+          TimingArc arc;
+          arc.from_pin = p;
+          arc.to_pin = out;
+          // Later inputs of a stack are marginally slower, as in real
+          // libraries; clock->Q uses the seed intrinsic directly.
+          const double pin_skew = cell.is_sequential() ? 1.0 : 1.0 + 0.05 * p;
+          for (int c = 0; c < kNumCorners; ++c) {
+            arc.corner[c].delay = make_delay_lut(intrinsic * pin_skew, drive_r,
+                                                 slew_k, vscale[v][c]);
+            arc.corner[c].out_slew =
+                make_slew_lut(intrinsic, drive_r, vscale[v][c]);
+          }
+          cell.arcs.push_back(std::move(arc));
+        }
+
+        for (int c = 0; c < kNumCorners; ++c) {
+          // nW -> mW for leakage; fJ -> pJ for internal energy.
+          cell.leakage_mw[c] = seed.leak_nw * 1e-6 * ds * leak_scale[v][c];
+          cell.internal_energy_pj[c] =
+              seed.internal_fj * 1e-3 * ds * dyn_scale[c];
+        }
+
+        lib.add_cell(std::move(cell));
+      }
+    }
+  }
+  return lib;
+}
+
+}  // namespace vipvt

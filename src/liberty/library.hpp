@@ -1,0 +1,80 @@
+#pragma once
+// The cell library: a set of characterized cells plus the technology
+// parameters (device physics, wire parasitics) every downstream engine
+// shares.  `make_st65lp_like()` reconstructs a dual-Vdd 65 nm low-power
+// library in the spirit of the STMicroelectronics library the paper used:
+// 1.0 V and 1.2 V corners, low leakage, dedicated level-shifter and
+// Razor-flip-flop cells.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/cell.hpp"
+#include "liberty/physics.hpp"
+
+namespace vipvt {
+
+/// Interconnect parasitics for the wire-delay estimator (per um of
+/// estimated route length).
+struct WireParams {
+  double r_kohm_per_um = 0.0010;  ///< 1 Ohm/um, mid-layer 65 nm metal
+  double c_pf_per_um = 0.00020;   ///< 0.2 fF/um
+
+  double resistance(double length_um) const { return r_kohm_per_um * length_um; }
+  double capacitance(double length_um) const { return c_pf_per_um * length_um; }
+};
+
+/// Placement-site geometry (row-based standard-cell fabric).
+struct SiteParams {
+  double site_width_um = 0.2;
+  double row_height_um = 1.8;
+};
+
+class Library {
+ public:
+  Library(std::string name, CharParams char_params, WireParams wire,
+          SiteParams site);
+
+  const std::string& name() const { return name_; }
+  const CharParams& char_params() const { return char_; }
+  const WireParams& wire() const { return wire_; }
+  const SiteParams& site() const { return site_; }
+
+  /// Adds a cell; its `sites` is derived from area and row geometry.
+  CellId add_cell(Cell cell);
+
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  std::size_t num_cells() const { return cells_.size(); }
+
+  /// Lookup by name; throws std::out_of_range if absent.
+  CellId find(const std::string& name) const;
+  std::optional<CellId> try_find(const std::string& name) const;
+
+  /// Smallest-drive SVT cell implementing the function (the netlist
+  /// builders' default mapping choice).
+  CellId cell_for(CellFunc func) const;
+
+  /// Same function and drive in a different Vth flavour, if characterized
+  /// (footprint-compatible swap used by the power-recovery pass).
+  std::optional<CellId> variant(CellId id, VthClass vth) const;
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  std::string name_;
+  CharParams char_;
+  WireParams wire_;
+  SiteParams site_;
+  std::vector<Cell> cells_;
+  std::unordered_map<std::string, CellId> by_name_;
+};
+
+/// Build the synthetic dual-Vdd 65 nm LP library.  Characterization is
+/// analytic: a logical-effort-style base model per function/drive,
+/// scaled across supply corners with the alpha-power law from
+/// CharParams.  Delay/slew surfaces are emitted as 5x5 NLDM tables.
+Library make_st65lp_like();
+
+}  // namespace vipvt

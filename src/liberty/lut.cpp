@@ -1,0 +1,63 @@
+#include "liberty/lut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vipvt {
+
+Lut2D::Lut2D(std::vector<double> slews, std::vector<double> loads,
+             std::vector<double> values)
+    : slews_(std::move(slews)), loads_(std::move(loads)),
+      values_(std::move(values)) {
+  if (slews_.empty() || loads_.empty() ||
+      values_.size() != slews_.size() * loads_.size()) {
+    throw std::invalid_argument("Lut2D: axis/value size mismatch");
+  }
+  if (!std::is_sorted(slews_.begin(), slews_.end()) ||
+      !std::is_sorted(loads_.begin(), loads_.end())) {
+    throw std::invalid_argument("Lut2D: axes must be increasing");
+  }
+}
+
+double Lut2D::at(std::size_t si, std::size_t li) const {
+  return values_.at(si * loads_.size() + li);
+}
+
+namespace {
+
+/// Index of the lower grid point for interpolation; clamps so that the
+/// bracketing pair [i, i+1] always exists (=> extrapolation at the edges).
+std::size_t lower_index(const std::vector<double>& axis, double x) {
+  if (axis.size() == 1) return 0;
+  auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  auto idx = static_cast<std::size_t>(std::distance(axis.begin(), it));
+  if (idx == 0) return 0;
+  if (idx >= axis.size()) return axis.size() - 2;
+  return idx - 1;
+}
+
+double fraction(const std::vector<double>& axis, std::size_t i, double x) {
+  if (axis.size() == 1) return 0.0;
+  const double span = axis[i + 1] - axis[i];
+  return span > 0.0 ? (x - axis[i]) / span : 0.0;
+}
+
+}  // namespace
+
+double Lut2D::lookup(double slew, double load) const {
+  const std::size_t si = lower_index(slews_, slew);
+  const std::size_t li = lower_index(loads_, load);
+  const double fs = fraction(slews_, si, slew);
+  const double fl = fraction(loads_, li, load);
+  const std::size_t si1 = std::min(si + 1, slews_.size() - 1);
+  const std::size_t li1 = std::min(li + 1, loads_.size() - 1);
+  const double v00 = at(si, li);
+  const double v01 = at(si, li1);
+  const double v10 = at(si1, li);
+  const double v11 = at(si1, li1);
+  const double lo = v00 + (v01 - v00) * fl;
+  const double hi = v10 + (v11 - v10) * fl;
+  return lo + (hi - lo) * fs;
+}
+
+}  // namespace vipvt

@@ -1,0 +1,36 @@
+#pragma once
+// NLDM-style 2-D lookup table: value = f(input_slew, output_load), with
+// bilinear interpolation inside the characterized grid and linear
+// extrapolation outside it (the same convention liberty delay calculators
+// use).  Axes are strictly increasing.
+
+#include <cstddef>
+#include <vector>
+
+namespace vipvt {
+
+class Lut2D {
+ public:
+  Lut2D() = default;
+
+  /// rows follow `slews` (axis 1), columns follow `loads` (axis 2).
+  Lut2D(std::vector<double> slews, std::vector<double> loads,
+        std::vector<double> values);
+
+  bool empty() const { return values_.empty(); }
+  std::size_t slew_points() const { return slews_.size(); }
+  std::size_t load_points() const { return loads_.size(); }
+  const std::vector<double>& slew_axis() const { return slews_; }
+  const std::vector<double>& load_axis() const { return loads_; }
+  double at(std::size_t si, std::size_t li) const;
+
+  /// Bilinear interpolation / linear extrapolation.
+  double lookup(double slew, double load) const;
+
+ private:
+  std::vector<double> slews_;
+  std::vector<double> loads_;
+  std::vector<double> values_;  // row-major [slew][load]
+};
+
+}  // namespace vipvt

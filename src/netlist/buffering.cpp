@@ -1,0 +1,74 @@
+#include "netlist/buffering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vipvt {
+
+BufferingReport buffer_high_fanout(Design& design, int max_fanout) {
+  if (max_fanout < 2) {
+    throw std::invalid_argument("buffer_high_fanout: max_fanout < 2");
+  }
+  BufferingReport report;
+  const CellId buf = design.lib().cell_for(CellFunc::Buf);
+  const auto fanout_limit = static_cast<std::size_t>(max_fanout);
+
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+    report.max_fanout_before =
+        std::max(report.max_fanout_before, net.sinks.size());
+  }
+
+  // The loop naturally processes nets created by earlier splits, so a
+  // 1000-sink net becomes a tree of buffer layers.
+  std::size_t buffers = 0;
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    // Note: design.net(n) may be invalidated by add_net; re-fetch.
+    if (design.net(n).is_clock) continue;
+    if (design.net(n).sinks.size() <= fanout_limit) continue;
+    ++report.nets_split;
+
+    // Attribution: the buffer tree belongs to the driving logic.
+    PipeStage stage = PipeStage::Other;
+    UnitId unit = kUnitTop;
+    if (design.net(n).has_cell_driver()) {
+      const Instance& drv = design.instance(design.net(n).driver.inst);
+      stage = drv.stage;
+      unit = drv.unit;
+    } else if (!design.net(n).sinks.empty()) {
+      const Instance& first = design.instance(design.net(n).sinks[0].inst);
+      stage = first.stage;
+      unit = first.unit;
+    }
+
+    // Snapshot the sinks, then move each cluster behind a buffer.
+    const std::vector<PinConn> sinks = design.net(n).sinks;
+    for (std::size_t base = 0; base < sinks.size(); base += fanout_limit) {
+      const std::size_t end = std::min(base + fanout_limit, sinks.size());
+      const NetId leg =
+          design.add_net("buf_net_" + std::to_string(buffers));
+      design.add_instance("fbuf_" + std::to_string(buffers), buf, stage,
+                          unit, {n, leg});
+      ++buffers;
+      for (std::size_t k = base; k < end; ++k) {
+        design.move_sink(n, sinks[k], leg);
+      }
+    }
+    // The original net now drives only the buffer inputs; if those still
+    // exceed the limit the loop will split this net again when it is
+    // revisited — so re-queue by processing it once more.
+    if (design.net(n).sinks.size() > fanout_limit) --n;
+  }
+  report.buffers_inserted = buffers;
+
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+    report.max_fanout_after =
+        std::max(report.max_fanout_after, net.sinks.size());
+  }
+  return report;
+}
+
+}  // namespace vipvt

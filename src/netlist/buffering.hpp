@@ -1,0 +1,27 @@
+#pragma once
+// High-fanout net buffering — the buffer-tree insertion every synthesis
+// flow performs.  Nets with more than `max_fanout` sinks get a layer of
+// buffers, each driving a cluster of sinks; the pass iterates until no
+// net (except the ideal clock) exceeds the limit, so decoded one-hot
+// selects and control broadcasts end up behind balanced buffer trees
+// instead of presenting pathological loads to a single driver.
+
+#include <cstddef>
+
+#include "netlist/design.hpp"
+
+namespace vipvt {
+
+struct BufferingReport {
+  std::size_t buffers_inserted = 0;
+  std::size_t nets_split = 0;
+  std::size_t max_fanout_before = 0;
+  std::size_t max_fanout_after = 0;
+};
+
+/// Splits every net with more than `max_fanout` sinks (clock excluded).
+/// Inserted buffers inherit the driver's stage/unit (or the first sink's
+/// for port-driven nets).  Must run before placement.
+BufferingReport buffer_high_fanout(Design& design, int max_fanout = 12);
+
+}  // namespace vipvt

@@ -1,0 +1,179 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace vipvt {
+
+NetlistBuilder::NetlistBuilder(Design& design) : design_(&design) {}
+
+void NetlistBuilder::push_unit(const std::string& name) {
+  const std::string path =
+      unit_stack_.empty() ? name : unit_stack_.back() + "/" + name;
+  unit_stack_.push_back(path);
+  unit_id_stack_.push_back(unit_);
+  unit_ = design_->unit_id(path);
+}
+
+void NetlistBuilder::pop_unit() {
+  if (unit_stack_.empty()) throw std::logic_error("pop_unit: empty stack");
+  unit_stack_.pop_back();
+  unit_ = unit_id_stack_.back();
+  unit_id_stack_.pop_back();
+}
+
+std::string NetlistBuilder::next_name(const char* kind) {
+  const std::string prefix =
+      unit_stack_.empty() ? std::string() : unit_stack_.back() + "/";
+  return prefix + kind + "_" + std::to_string(gates_created_);
+}
+
+NetId NetlistBuilder::input(const std::string& name) {
+  return design_->add_primary_input(name);
+}
+
+NetId NetlistBuilder::clock_input(const std::string& name) {
+  return design_->add_primary_input(name, /*is_clock=*/true);
+}
+
+void NetlistBuilder::output(const Bus& bus) {
+  for (NetId n : bus) design_->mark_primary_output(n);
+}
+
+Bus NetlistBuilder::input_bus(const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+NetId NetlistBuilder::wire(const std::string& name) {
+  return design_->add_net(name);
+}
+
+NetId NetlistBuilder::const0() {
+  if (const0_ == kInvalidNet) {
+    const0_ = design_->add_net("const0");
+    const CellId tie = lib().cell_for(CellFunc::Tie0);
+    design_->add_instance("tie0", tie, PipeStage::Other, kUnitTop, {const0_});
+  }
+  return const0_;
+}
+
+NetId NetlistBuilder::const1() {
+  if (const1_ == kInvalidNet) {
+    const1_ = design_->add_net("const1");
+    const CellId tie = lib().cell_for(CellFunc::Tie1);
+    design_->add_instance("tie1", tie, PipeStage::Other, kUnitTop, {const1_});
+  }
+  return const1_;
+}
+
+NetId NetlistBuilder::gate(CellFunc func, std::span<const NetId> ins) {
+  const CellId cell = lib().cell_for(func);
+  const Cell& c = lib().cell(cell);
+  if (static_cast<int>(ins.size()) != c.num_inputs()) {
+    throw std::invalid_argument(std::string("gate(") + func_name(func) +
+                                "): wrong input count");
+  }
+  ++gates_created_;
+  const NetId out = design_->add_net(next_name(func_name(func)));
+  std::vector<NetId> conns(ins.begin(), ins.end());
+  conns.push_back(out);
+  design_->add_instance(next_name("u"), cell, stage_, unit_, std::move(conns));
+  return out;
+}
+
+NetId NetlistBuilder::gate(CellFunc func, std::initializer_list<NetId> ins) {
+  return gate(func, std::span<const NetId>(ins.begin(), ins.size()));
+}
+
+NetId NetlistBuilder::dff(NetId d) {
+  const NetId q = design_->add_net(next_name("q"));
+  dff_into(d, q);
+  return q;
+}
+
+void NetlistBuilder::dff_into(NetId d, NetId q) {
+  const NetId clk = design_->clock_net();
+  if (clk == kInvalidNet) {
+    throw std::logic_error("dff: design has no clock input");
+  }
+  const CellId cell = lib().cell_for(CellFunc::Dff);
+  ++gates_created_;
+  design_->add_instance(next_name("ff"), cell, stage_, unit_, {d, clk, q});
+}
+
+Bus NetlistBuilder::dff_bus(const Bus& d) {
+  Bus q;
+  q.reserve(d.size());
+  for (NetId n : d) q.push_back(dff(n));
+  return q;
+}
+
+namespace {
+
+NetId reduce_tree(NetlistBuilder& b, Bus bus, CellFunc func2) {
+  if (bus.empty()) throw std::invalid_argument("reduce: empty bus");
+  while (bus.size() > 1) {
+    Bus next;
+    next.reserve((bus.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < bus.size(); i += 2) {
+      next.push_back(b.gate(func2, {bus[i], bus[i + 1]}));
+    }
+    if (bus.size() % 2 == 1) next.push_back(bus.back());
+    bus = std::move(next);
+  }
+  return bus[0];
+}
+
+}  // namespace
+
+NetId NetlistBuilder::reduce_or(const Bus& bus) {
+  return reduce_tree(*this, bus, CellFunc::Or2);
+}
+
+NetId NetlistBuilder::reduce_and(const Bus& bus) {
+  return reduce_tree(*this, bus, CellFunc::And2);
+}
+
+NetId NetlistBuilder::reduce_xor(const Bus& bus) {
+  return reduce_tree(*this, bus, CellFunc::Xor2);
+}
+
+Bus NetlistBuilder::bitwise(CellFunc func2, const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("bitwise: width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(gate(func2, {a[i], b[i]}));
+  }
+  return out;
+}
+
+Bus NetlistBuilder::invert(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (NetId n : a) out.push_back(inv(n));
+  return out;
+}
+
+Bus NetlistBuilder::mux2_bus(const Bus& a, const Bus& b, NetId s) {
+  if (a.size() != b.size()) throw std::invalid_argument("mux2_bus: width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(mux2(a[i], b[i], s));
+  return out;
+}
+
+Bus NetlistBuilder::const_bus(std::uint64_t value, int width) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    out.push_back((value >> i) & 1 ? const1() : const0());
+  }
+  return out;
+}
+
+}  // namespace vipvt

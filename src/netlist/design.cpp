@@ -1,0 +1,176 @@
+#include "netlist/design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vipvt {
+
+const char* stage_name(PipeStage s) {
+  switch (s) {
+    case PipeStage::Fetch: return "FE";
+    case PipeStage::Decode: return "DC";
+    case PipeStage::Execute: return "EX";
+    case PipeStage::WriteBack: return "WB";
+    case PipeStage::Other: return "--";
+  }
+  return "?";
+}
+
+Design::Design(std::string name, const Library& lib)
+    : name_(std::move(name)), lib_(&lib) {}
+
+NetId Design::add_net(std::string net_name) {
+  const auto id = static_cast<NetId>(nets_.size());
+  Net net;
+  net.name = std::move(net_name);
+  nets_.push_back(std::move(net));
+  return id;
+}
+
+NetId Design::add_primary_input(std::string net_name, bool is_clock) {
+  const NetId id = add_net(std::move(net_name));
+  nets_[id].is_primary_input = true;
+  nets_[id].is_clock = is_clock;
+  primary_inputs_.push_back(id);
+  if (is_clock) {
+    if (clock_net_ != kInvalidNet) {
+      throw std::runtime_error("Design: multiple clock nets");
+    }
+    clock_net_ = id;
+  }
+  return id;
+}
+
+void Design::mark_primary_output(NetId net) {
+  if (!nets_.at(net).is_primary_output) {
+    nets_[net].is_primary_output = true;
+    primary_outputs_.push_back(net);
+  }
+}
+
+InstId Design::add_instance(std::string inst_name, CellId cell,
+                            PipeStage stage, UnitId unit,
+                            std::vector<NetId> conns) {
+  const Cell& c = lib_->cell(cell);
+  if (conns.size() != c.pins.size()) {
+    throw std::invalid_argument("add_instance(" + inst_name +
+                                "): pin count mismatch for cell " + c.name);
+  }
+  const auto id = static_cast<InstId>(instances_.size());
+  for (std::size_t p = 0; p < conns.size(); ++p) {
+    Net& net = nets_.at(conns[p]);
+    const auto pin = static_cast<std::uint16_t>(p);
+    if (c.pins[p].is_input) {
+      net.sinks.push_back({id, pin});
+    } else {
+      if (net.has_cell_driver() || net.is_primary_input) {
+        throw std::runtime_error("add_instance(" + inst_name +
+                                 "): net already driven: " + net.name);
+      }
+      net.driver = {id, pin};
+    }
+  }
+  Instance inst;
+  inst.name = std::move(inst_name);
+  inst.cell = cell;
+  inst.stage = stage;
+  inst.unit = unit;
+  inst.conns = std::move(conns);
+  instances_.push_back(std::move(inst));
+  return id;
+}
+
+void Design::move_sink(NetId from, PinConn sink, NetId to) {
+  Net& src = nets_.at(from);
+  auto it = std::find(src.sinks.begin(), src.sinks.end(), sink);
+  if (it == src.sinks.end()) {
+    throw std::invalid_argument("move_sink: sink not on source net");
+  }
+  src.sinks.erase(it);
+  nets_.at(to).sinks.push_back(sink);
+  instances_.at(sink.inst).conns.at(sink.pin) = to;
+}
+
+UnitId Design::unit_id(const std::string& unit_name) {
+  for (std::size_t i = 0; i < unit_names_.size(); ++i) {
+    if (unit_names_[i] == unit_name) return static_cast<UnitId>(i);
+  }
+  unit_names_.push_back(unit_name);
+  return static_cast<UnitId>(unit_names_.size() - 1);
+}
+
+double Design::total_area() const {
+  double area = 0.0;
+  for (const auto& inst : instances_) area += lib_->cell(inst.cell).area_um2;
+  return area;
+}
+
+double Design::unit_area(UnitId unit) const {
+  double area = 0.0;
+  for (const auto& inst : instances_) {
+    if (inst.unit == unit) area += lib_->cell(inst.cell).area_um2;
+  }
+  return area;
+}
+
+std::size_t Design::num_flops() const {
+  std::size_t n = 0;
+  for (const auto& inst : instances_) {
+    if (lib_->cell(inst.cell).is_sequential()) ++n;
+  }
+  return n;
+}
+
+void Design::check() const {
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    const bool driven = net.has_cell_driver() || net.is_primary_input;
+    if (!driven && !net.sinks.empty()) {
+      throw std::runtime_error("check: undriven net with sinks: " + net.name);
+    }
+    if (net.has_cell_driver()) {
+      const Instance& drv = instances_.at(net.driver.inst);
+      const Cell& c = lib_->cell(drv.cell);
+      if (c.pins.at(net.driver.pin).is_input) {
+        throw std::runtime_error("check: net driven by input pin: " + net.name);
+      }
+    }
+    for (const auto& sink : net.sinks) {
+      const Instance& inst = instances_.at(sink.inst);
+      const Cell& c = lib_->cell(inst.cell);
+      const PinSpec& pin = c.pins.at(sink.pin);
+      if (!pin.is_input) {
+        throw std::runtime_error("check: output pin listed as sink on net " +
+                                 net.name);
+      }
+      if (pin.is_clock && !net.is_clock) {
+        throw std::runtime_error("check: clock pin of " + inst.name +
+                                 " not on the clock net");
+      }
+      if (inst.conns.at(sink.pin) != n) {
+        throw std::runtime_error("check: conns/sink inconsistency on net " +
+                                 net.name);
+      }
+    }
+  }
+  for (InstId i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    const Cell& c = lib_->cell(inst.cell);
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      const NetId n = inst.conns.at(p);
+      if (n == kInvalidNet) {
+        throw std::runtime_error("check: floating pin on " + inst.name);
+      }
+      if (c.pins[p].is_input) {
+        const Net& net = nets_.at(n);
+        if (!net.has_cell_driver() && !net.is_primary_input) {
+          throw std::runtime_error("check: input pin of " + inst.name +
+                                   " on undriven net " + net.name);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace vipvt

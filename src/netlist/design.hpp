@@ -1,0 +1,137 @@
+#pragma once
+// Gate-level netlist data model.  A Design owns instances, nets and the
+// primary ports; every instance references a Library cell and carries the
+// microarchitectural metadata the methodology needs: which pipeline stage
+// its logic belongs to (for per-stage SSTA grouping), which functional
+// unit it implements (for the Table-1 style breakdown), its placement
+// coordinates and its voltage-domain membership (for voltage islands).
+//
+// Handles are plain indices (InstId/NetId) — the standard EDA idiom for
+// cache-friendly traversal of netlists with tens of thousands of instances.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "util/geometry.hpp"
+
+namespace vipvt {
+
+using InstId = std::uint32_t;
+using NetId = std::uint32_t;
+using UnitId = std::uint16_t;
+using DomainId = std::uint8_t;
+
+inline constexpr InstId kInvalidInst = static_cast<InstId>(-1);
+inline constexpr NetId kInvalidNet = static_cast<NetId>(-1);
+inline constexpr UnitId kUnitTop = 0;  ///< default/unassigned unit
+
+/// Base voltage domain: cells outside every island; always at low Vdd.
+inline constexpr DomainId kDomainBase = 0;
+
+/// Pipeline stage a piece of logic (or the flop capturing it) belongs to.
+enum class PipeStage : std::uint8_t {
+  Fetch,
+  Decode,
+  Execute,
+  WriteBack,
+  Other,
+};
+inline constexpr int kNumPipeStages = 5;
+const char* stage_name(PipeStage s);
+
+struct PinConn {
+  InstId inst = kInvalidInst;
+  std::uint16_t pin = 0;
+
+  friend bool operator==(const PinConn&, const PinConn&) = default;
+};
+
+struct Net {
+  std::string name;
+  PinConn driver;  ///< invalid inst => driven by a primary input
+  std::vector<PinConn> sinks;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  bool is_clock = false;
+
+  bool has_cell_driver() const { return driver.inst != kInvalidInst; }
+};
+
+struct Instance {
+  std::string name;
+  CellId cell = kInvalidCell;
+  PipeStage stage = PipeStage::Other;
+  UnitId unit = kUnitTop;
+  std::vector<NetId> conns;  ///< aligned with Cell::pins
+  Point pos;                 ///< lower-left, um; valid when `placed`
+  bool placed = false;
+  DomainId domain = kDomainBase;
+};
+
+class Design {
+ public:
+  Design(std::string name, const Library& lib);
+
+  const std::string& name() const { return name_; }
+  const Library& lib() const { return *lib_; }
+
+  // --- construction -----------------------------------------------------
+  NetId add_net(std::string net_name);
+  NetId add_primary_input(std::string net_name, bool is_clock = false);
+  void mark_primary_output(NetId net);
+
+  /// Creates an instance of `cell` whose pin i connects to conns[i].
+  /// Output pins become the driver of their net; inputs become sinks.
+  InstId add_instance(std::string inst_name, CellId cell, PipeStage stage,
+                      UnitId unit, std::vector<NetId> conns);
+
+  /// Registers (or finds) a named functional unit for breakdown reports.
+  UnitId unit_id(const std::string& unit_name);
+
+  /// Moves a sink pin from one net to another (ECO edit used by the
+  /// level-shifter inserter).  The sink must currently be on `from`.
+  void move_sink(NetId from, PinConn sink, NetId to);
+
+  // --- access -----------------------------------------------------------
+  const Instance& instance(InstId id) const { return instances_[id]; }
+  Instance& instance(InstId id) { return instances_[id]; }
+  const Net& net(NetId id) const { return nets_[id]; }
+  Net& net(NetId id) { return nets_[id]; }
+  std::size_t num_instances() const { return instances_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<std::string>& unit_names() const { return unit_names_; }
+  const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<NetId>& primary_outputs() const { return primary_outputs_; }
+  NetId clock_net() const { return clock_net_; }
+
+  const Cell& cell_of(InstId id) const { return lib_->cell(instances_[id].cell); }
+
+  /// Total standard-cell area [um^2].
+  double total_area() const;
+  /// Area of one unit [um^2].
+  double unit_area(UnitId unit) const;
+  /// Number of sequential instances.
+  std::size_t num_flops() const;
+
+  /// Structural sanity check: every input pin driven exactly once, pin
+  /// counts match the cell, clock pins on the clock net, no floating
+  /// cell-driven outputs feeding nothing AND marked primary.  Throws
+  /// std::runtime_error with a diagnostic on the first violation.
+  void check() const;
+
+ private:
+  std::string name_;
+  const Library* lib_;
+  std::vector<Instance> instances_;
+  std::vector<Net> nets_;
+  std::vector<std::string> unit_names_{"top"};
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  NetId clock_net_ = kInvalidNet;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,263 @@
+#include "netlist/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vipvt {
+
+namespace {
+
+struct FaOut {
+  NetId sum;
+  NetId carry;
+};
+
+FaOut full_adder(NetlistBuilder& b, NetId x, NetId y, NetId c) {
+  const NetId p = b.xor2(x, y);
+  return {b.xor2(p, c), b.maj3(x, y, c)};
+}
+
+FaOut half_adder(NetlistBuilder& b, NetId x, NetId y) {
+  return {b.xor2(x, y), b.and2(x, y)};
+}
+
+}  // namespace
+
+AdderOut ripple_adder(NetlistBuilder& b, const Bus& a, const Bus& bb,
+                      NetId cin) {
+  if (a.size() != bb.size() || a.empty()) {
+    throw std::invalid_argument("ripple_adder: width mismatch");
+  }
+  AdderOut out;
+  out.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(b, a[i], bb[i], carry);
+    out.sum.push_back(s);
+    carry = c;
+  }
+  out.cout = carry;
+  return out;
+}
+
+AdderOut cla_adder(NetlistBuilder& b, const Bus& a, const Bus& bb, NetId cin) {
+  if (a.size() != bb.size() || a.empty()) {
+    throw std::invalid_argument("cla_adder: width mismatch");
+  }
+  const std::size_t n = a.size();
+  // Bit-level propagate/generate.
+  Bus p(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = b.xor2(a[i], bb[i]);
+    g[i] = b.and2(a[i], bb[i]);
+  }
+  // 4-bit groups: compute carries into each bit from the group carry-in
+  // with two-level lookahead; chain group carries with group G/P.
+  AdderOut out;
+  out.sum.resize(n);
+  NetId group_cin = cin;
+  for (std::size_t base = 0; base < n; base += 4) {
+    const std::size_t len = std::min<std::size_t>(4, n - base);
+    // carries[j] = carry into bit base+j.
+    NetId carry = group_cin;
+    for (std::size_t j = 0; j < len; ++j) {
+      out.sum[base + j] = b.xor2(p[base + j], carry);
+      if (j + 1 < len) {
+        // c_{j+1} = g_j + p_j * c_j  — AOI-style lookahead node.
+        carry = b.or2(g[base + j], b.and2(p[base + j], carry));
+      }
+    }
+    // Group generate/propagate for the next group's carry-in: computed
+    // directly from bit P/G so the inter-group chain is 2 levels per
+    // group rather than 8.
+    if (base + len < n) {
+      NetId gp = p[base];
+      NetId gg = g[base];
+      for (std::size_t j = 1; j < len; ++j) {
+        gg = b.or2(g[base + j], b.and2(p[base + j], gg));
+        gp = b.and2(gp, p[base + j]);
+      }
+      group_cin = b.or2(gg, b.and2(gp, group_cin));
+    } else {
+      // Final carry-out.
+      NetId gg = g[base];
+      NetId gp = p[base];
+      for (std::size_t j = 1; j < len; ++j) {
+        gg = b.or2(g[base + j], b.and2(p[base + j], gg));
+        gp = b.and2(gp, p[base + j]);
+      }
+      out.cout = b.or2(gg, b.and2(gp, group_cin));
+    }
+  }
+  return out;
+}
+
+SubOut subtractor(NetlistBuilder& b, const Bus& a, const Bus& bb) {
+  const Bus nb = b.invert(bb);
+  auto add = cla_adder(b, a, nb, b.const1());
+  return {std::move(add.sum), add.cout};
+}
+
+NetId equal(NetlistBuilder& b, const Bus& a, const Bus& bb) {
+  if (a.size() != bb.size()) throw std::invalid_argument("equal: width mismatch");
+  Bus eq;
+  eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq.push_back(b.xnor2(a[i], bb[i]));
+  return b.reduce_and(eq);
+}
+
+NetId less_than(NetlistBuilder& b, const Bus& a, const Bus& bb) {
+  return b.inv(subtractor(b, a, bb).no_borrow);
+}
+
+NetId is_zero(NetlistBuilder& b, const Bus& a) {
+  return b.inv(b.reduce_or(a));
+}
+
+Bus barrel_shifter(NetlistBuilder& b, const Bus& a, const Bus& amount,
+                   bool left, bool arithmetic) {
+  Bus cur = a;
+  const NetId fill0 = b.const0();
+  const NetId fill = (!left && arithmetic) ? a.back() : fill0;
+  for (std::size_t level = 0; level < amount.size(); ++level) {
+    const std::size_t dist = std::size_t{1} << level;
+    Bus shifted(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (left) {
+        shifted[i] = (i >= dist) ? cur[i - dist] : fill0;
+      } else {
+        shifted[i] = (i + dist < cur.size()) ? cur[i + dist] : fill;
+      }
+    }
+    Bus next(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      next[i] = b.mux2(cur[i], shifted[i], amount[level]);
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Bus carry_save_sum(NetlistBuilder& b, std::vector<Bus> rows, int out_width) {
+  if (rows.empty()) throw std::invalid_argument("carry_save_sum: no rows");
+  const auto w = static_cast<std::size_t>(out_width);
+  // Column-oriented reduction (Wallace): collect bits per column, compress
+  // columns with FAs/HAs until every column holds at most 2 bits.
+  std::vector<std::vector<NetId>> cols(w);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < w; ++i) {
+      cols[i].push_back(row[i]);
+    }
+  }
+  bool again = true;
+  while (again) {
+    again = false;
+    std::vector<std::vector<NetId>> next(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      auto& col = cols[i];
+      std::size_t k = 0;
+      while (col.size() - k >= 3) {
+        auto [s, c] = full_adder(b, col[k], col[k + 1], col[k + 2]);
+        next[i].push_back(s);
+        if (i + 1 < w) next[i + 1].push_back(c);
+        k += 3;
+      }
+      if (col.size() - k == 2 && col.size() > 2) {
+        auto [s, c] = half_adder(b, col[k], col[k + 1]);
+        next[i].push_back(s);
+        if (i + 1 < w) next[i + 1].push_back(c);
+        k += 2;
+      }
+      for (; k < col.size(); ++k) next[i].push_back(col[k]);
+    }
+    cols = std::move(next);
+    for (const auto& col : cols) {
+      if (col.size() > 2) {
+        again = true;
+        break;
+      }
+    }
+  }
+  // Two remaining rows -> CLA.
+  Bus r0(w), r1(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    r0[i] = cols[i].empty() ? b.const0() : cols[i][0];
+    r1[i] = cols[i].size() > 1 ? cols[i][1] : b.const0();
+  }
+  return cla_adder(b, r0, r1, b.const0()).sum;
+}
+
+Bus multiplier(NetlistBuilder& b, const Bus& a, const Bus& bb) {
+  if (a.empty() || bb.empty()) throw std::invalid_argument("multiplier: empty");
+  const int out_width = static_cast<int>(a.size() + bb.size());
+  std::vector<Bus> rows;
+  rows.reserve(bb.size());
+  for (std::size_t j = 0; j < bb.size(); ++j) {
+    Bus row(j, kInvalidNet);  // j leading zero positions
+    // Represent the shift structurally: row i of the partial-product
+    // matrix starts at column j.
+    Bus pp;
+    pp.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      pp.push_back(b.and2(a[i], bb[j]));
+    }
+    Bus shifted;
+    shifted.reserve(j + pp.size());
+    for (std::size_t i = 0; i < j; ++i) shifted.push_back(b.const0());
+    for (NetId n : pp) shifted.push_back(n);
+    rows.push_back(std::move(shifted));
+  }
+  return carry_save_sum(b, std::move(rows), out_width);
+}
+
+Bus decoder_onehot(NetlistBuilder& b, const Bus& sel) {
+  const std::size_t n = sel.size();
+  const std::size_t outputs = std::size_t{1} << n;
+  Bus inv_sel;
+  inv_sel.reserve(n);
+  for (NetId s : sel) inv_sel.push_back(b.inv(s));
+  Bus out;
+  out.reserve(outputs);
+  for (std::size_t v = 0; v < outputs; ++v) {
+    Bus terms;
+    terms.reserve(n);
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      terms.push_back((v >> bit) & 1 ? sel[bit] : inv_sel[bit]);
+    }
+    out.push_back(b.reduce_and(terms));
+  }
+  return out;
+}
+
+Bus mux_tree(NetlistBuilder& b, const std::vector<Bus>& options,
+             const Bus& sel) {
+  if (options.empty()) throw std::invalid_argument("mux_tree: no options");
+  const std::size_t width = options[0].size();
+  for (const auto& o : options) {
+    if (o.size() != width) throw std::invalid_argument("mux_tree: ragged widths");
+  }
+  if (options.size() > (std::size_t{1} << sel.size())) {
+    throw std::invalid_argument("mux_tree: select bus too narrow");
+  }
+  std::vector<Bus> level = options;
+  for (std::size_t s = 0; s < sel.size() && level.size() > 1; ++s) {
+    std::vector<Bus> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(b.mux2_bus(level[i], level[i + 1], sel[s]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus extend(NetlistBuilder& b, const Bus& a, int width, bool sign_extend) {
+  Bus out = a;
+  const NetId fill = sign_extend ? a.back() : b.const0();
+  while (static_cast<int>(out.size()) < width) out.push_back(fill);
+  out.resize(static_cast<std::size_t>(width));
+  return out;
+}
+
+}  // namespace vipvt

@@ -1,0 +1,68 @@
+#pragma once
+// Structural generators for the datapath blocks the VEX-class VLIW is
+// assembled from.  All generators emit plain library gates through the
+// NetlistBuilder, inheriting its stage/unit context, so the resulting
+// netlist has realistic logic-depth and path-count profiles per pipeline
+// stage — the property the paper's SSTA results hinge on (deep
+// ALU/forwarding paths in EX, wide mux trees in DC, shallow WB logic).
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace vipvt {
+
+struct AdderOut {
+  Bus sum;
+  NetId cout = kInvalidNet;
+};
+
+/// Ripple-carry adder: minimal area, depth O(n).  Used where delay is
+/// uncritical (counters, small address math).
+AdderOut ripple_adder(NetlistBuilder& b, const Bus& a, const Bus& bb, NetId cin);
+
+/// Carry-lookahead adder with 4-bit groups: the performance adder of the
+/// ALUs and AGUs; depth O(n/4 + lookahead levels).
+AdderOut cla_adder(NetlistBuilder& b, const Bus& a, const Bus& bb, NetId cin);
+
+/// a - b (two's complement); `borrow_n` out is the carry-out (1 => a >= b
+/// for unsigned operands).
+struct SubOut {
+  Bus diff;
+  NetId no_borrow = kInvalidNet;
+};
+SubOut subtractor(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// Equality comparator (XNOR + AND-tree).
+NetId equal(NetlistBuilder& b, const Bus& a, const Bus& bb);
+/// Unsigned a < b via subtract borrow.
+NetId less_than(NetlistBuilder& b, const Bus& a, const Bus& bb);
+/// True iff the bus is all zero.
+NetId is_zero(NetlistBuilder& b, const Bus& a);
+
+/// Logarithmic barrel shifter.  `amount` is LSB-first; result width equals
+/// a's width.  When `left` shifts left, else logical right shift;
+/// `arithmetic` makes right shifts sign-extending.
+Bus barrel_shifter(NetlistBuilder& b, const Bus& a, const Bus& amount,
+                   bool left, bool arithmetic = false);
+
+/// Carry-save reduction of addend rows to two rows (Wallace-style), then
+/// final CLA.  Rows may have different widths; they are implicitly
+/// zero-padded to `out_width`.
+Bus carry_save_sum(NetlistBuilder& b, std::vector<Bus> rows, int out_width);
+
+/// Unsigned array multiplier with Wallace-tree reduction and CLA final
+/// adder.  Result has a.size() + bb.size() bits.
+Bus multiplier(NetlistBuilder& b, const Bus& a, const Bus& bb);
+
+/// n-to-2^n one-hot decoder.
+Bus decoder_onehot(NetlistBuilder& b, const Bus& sel);
+
+/// Select one of `options` (all same width) by the binary select bus;
+/// options.size() must be <= 2^sel.size(); missing options select option 0.
+Bus mux_tree(NetlistBuilder& b, const std::vector<Bus>& options, const Bus& sel);
+
+/// Sign- or zero-extend a bus to `width`.
+Bus extend(NetlistBuilder& b, const Bus& a, int width, bool sign_extend);
+
+}  // namespace vipvt

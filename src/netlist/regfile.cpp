@@ -1,0 +1,82 @@
+#include "netlist/regfile.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "netlist/generators.hpp"
+
+namespace vipvt {
+
+void build_register_file(NetlistBuilder& b, const RegFileConfig& cfg,
+                         RegFileIo& io) {
+  if (!std::has_single_bit(static_cast<unsigned>(cfg.num_regs))) {
+    throw std::invalid_argument("register file: num_regs must be 2^k");
+  }
+  const int addr_bits = std::countr_zero(static_cast<unsigned>(cfg.num_regs));
+  auto check_addr = [&](const std::vector<Bus>& v, int count) {
+    if (static_cast<int>(v.size()) != count) {
+      throw std::invalid_argument("register file: port count mismatch");
+    }
+    for (const auto& bus : v) {
+      if (static_cast<int>(bus.size()) != addr_bits) {
+        throw std::invalid_argument("register file: address width mismatch");
+      }
+    }
+  };
+  check_addr(io.read_addr, cfg.read_ports);
+  check_addr(io.write_addr, cfg.write_ports);
+  if (static_cast<int>(io.write_data.size()) != cfg.write_ports ||
+      static_cast<int>(io.write_en.size()) != cfg.write_ports) {
+    throw std::invalid_argument("register file: write port mismatch");
+  }
+
+  // ---- write-address decode (WB stage) ---------------------------------
+  b.set_stage(PipeStage::WriteBack);
+  std::vector<Bus> wr_onehot;  // [port][reg]
+  {
+    NetlistBuilder::UnitScope dec(b, "wdec");
+    wr_onehot.reserve(static_cast<std::size_t>(cfg.write_ports));
+    for (int w = 0; w < cfg.write_ports; ++w) {
+      Bus onehot = decoder_onehot(b, io.write_addr[w]);
+      for (auto& sel : onehot) sel = b.and2(sel, io.write_en[w]);
+      wr_onehot.push_back(std::move(onehot));
+    }
+  }
+
+  // ---- storage & write muxing (WB stage) --------------------------------
+  // q[reg][bit] created up front: the hold path makes D depend on Q.
+  std::vector<Bus> q(static_cast<std::size_t>(cfg.num_regs));
+  for (int r = 0; r < cfg.num_regs; ++r) {
+    q[r].reserve(static_cast<std::size_t>(cfg.width));
+    for (int bit = 0; bit < cfg.width; ++bit) {
+      q[r].push_back(b.wire("rf_q_" + std::to_string(r) + "_" +
+                            std::to_string(bit)));
+    }
+  }
+  {
+    NetlistBuilder::UnitScope store(b, "store");
+    for (int r = 0; r < cfg.num_regs; ++r) {
+      for (int bit = 0; bit < cfg.width; ++bit) {
+        // Priority chain over write ports; default = hold.
+        NetId d = q[r][bit];
+        for (int w = 0; w < cfg.write_ports; ++w) {
+          d = b.mux2(d, io.write_data[w][bit], wr_onehot[w][r]);
+        }
+        b.dff_into(d, q[r][bit]);
+      }
+    }
+  }
+
+  // ---- read mux trees (DC stage) ----------------------------------------
+  b.set_stage(PipeStage::Decode);
+  io.read_data.clear();
+  io.read_data.reserve(static_cast<std::size_t>(cfg.read_ports));
+  {
+    NetlistBuilder::UnitScope rd(b, "read");
+    for (int p = 0; p < cfg.read_ports; ++p) {
+      io.read_data.push_back(mux_tree(b, q, io.read_addr[p]));
+    }
+  }
+}
+
+}  // namespace vipvt

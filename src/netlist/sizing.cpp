@@ -1,0 +1,77 @@
+#include "netlist/sizing.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace vipvt {
+
+namespace {
+
+/// All drive variants of (func, vth) in the library, ordered by drive.
+std::vector<CellId> drive_family(const Library& lib, const Cell& base) {
+  std::vector<CellId> family;
+  for (CellId id = 0; id < lib.num_cells(); ++id) {
+    const Cell& c = lib.cell(id);
+    if (c.func == base.func && c.vth == base.vth) family.push_back(id);
+  }
+  // Libraries are built with ascending drive per function; keep order
+  // deterministic regardless.
+  std::sort(family.begin(), family.end(), [&](CellId a, CellId b) {
+    return lib.cell(a).drive < lib.cell(b).drive;
+  });
+  return family;
+}
+
+}  // namespace
+
+SizingReport resize_for_wireload(Design& design, const SizingConfig& cfg) {
+  SizingReport report;
+  const Library& lib = design.lib();
+  const double wl_cap_per_sink =
+      lib.wire().capacitance(cfg.wireload_um_per_fanout);
+
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    Instance& inst = design.instance(i);
+    const Cell& cell = lib.cell(inst.cell);
+    if (cell.is_sequential() || cell.is_tie() || cell.is_level_shifter()) {
+      continue;
+    }
+    ++report.examined;
+
+    const NetId out = inst.conns[cell.output_pin()];
+    const Net& net = design.net(out);
+    double load = wl_cap_per_sink * static_cast<double>(net.sinks.size());
+    for (const auto& sink : net.sinks) {
+      load += design.cell_of(sink.inst).pins[sink.pin].cap_pf;
+    }
+
+    const auto family = drive_family(lib, cell);
+    if (family.size() < 2) continue;
+
+    // Delay of each variant at this load (worst arc, low corner).
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<double> delay(family.size());
+    for (std::size_t k = 0; k < family.size(); ++k) {
+      const Cell& cand = lib.cell(family[k]);
+      double worst = 0.0;
+      for (const auto& arc : cand.arcs) {
+        worst = std::max(
+            worst, arc.corner[kVddLow].delay.lookup(cfg.eval_slew_ns, load));
+      }
+      delay[k] = worst;
+      best = std::min(best, worst);
+    }
+    for (std::size_t k = 0; k < family.size(); ++k) {
+      if (delay[k] <= best * cfg.tolerance) {
+        if (family[k] != inst.cell) {
+          inst.cell = family[k];
+          ++report.upsized;
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vipvt

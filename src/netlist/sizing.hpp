@@ -1,0 +1,36 @@
+#pragma once
+// Wireload-model drive sizing — the pre-placement gate-sizing step of a
+// synthesis flow.  Each gate's output load is estimated as the sum of
+// its sink pin capacitances plus a per-fanout wireload term; the gate is
+// then swapped to the smallest drive strength whose table delay at that
+// load is within `tolerance` of the best available drive.  Without this
+// pass, long/multi-fanout nets behind minimum-size drivers drown the
+// gate delays (and with them the Lgate-variation signal the methodology
+// measures) in RC.
+
+#include <cstddef>
+
+#include "netlist/design.hpp"
+
+namespace vipvt {
+
+struct SizingConfig {
+  /// Estimated wire length per sink [um] (classic wireload model).
+  double wireload_um_per_fanout = 18.0;
+  /// Accept the smallest drive within this factor of the fastest choice.
+  double tolerance = 1.20;
+  /// Characteristic input slew for the delay comparison [ns].
+  double eval_slew_ns = 0.05;
+};
+
+struct SizingReport {
+  std::size_t upsized = 0;
+  std::size_t examined = 0;
+};
+
+/// Runs the sizing pass in place.  Must run before placement (placement
+/// consumes the final cell widths).  Preserves function and Vth class.
+SizingReport resize_for_wireload(Design& design,
+                                 const SizingConfig& cfg = {});
+
+}  // namespace vipvt

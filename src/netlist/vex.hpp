@@ -1,0 +1,92 @@
+#pragma once
+// Generator for the target design of the paper: a VEX-class 4-way
+// clustered VLIW core with 4 pipeline stages (FE, DC, EX, WB), four
+// parallel execution slots (each: ALU with an in-series shifter, compare
+// unit, address-computation unit, and a parallel multiplier), two
+// forwarding paths for RAW hazards, a branch unit in the decode stage
+// (static predict-not-taken), and a fully synthesized multi-ported
+// register file.  Memories are behavioural, i.e. instruction words and
+// load data enter as primary inputs and store address/data leave as
+// primary outputs — exactly the modelling level of the paper.
+
+#include <string>
+
+#include "netlist/design.hpp"
+#include "netlist/regfile.hpp"
+
+namespace vipvt {
+
+struct VexConfig {
+  int slots = 4;        ///< issue width (paper: 4)
+  int width = 32;       ///< datapath width (paper: 32)
+  int num_regs = 64;    ///< architectural registers (power of two)
+  int mult_width = 16;  ///< multiplier operand width (low half of operands)
+  int opcode_bits = 5;
+
+  /// A scaled-down configuration for unit tests and quick examples.
+  static VexConfig tiny() {
+    VexConfig c;
+    c.slots = 2;
+    c.width = 8;
+    c.num_regs = 8;
+    c.mult_width = 4;
+    c.opcode_bits = 4;
+    return c;
+  }
+};
+
+/// Instruction-field layout of one 32-bit syllable (LSB-first offsets);
+/// derived from VexConfig so tests can introspect the encoding.
+struct SyllableLayout {
+  int opcode_lsb = 0;
+  int dest_lsb = 0;
+  int src1_lsb = 0;
+  int src2_lsb = 0;
+  int imm_lsb = 0;
+  int addr_bits = 0;
+  int imm_bits = 0;
+  int syllable_bits = 32;
+
+  static SyllableLayout from(const VexConfig& cfg);
+};
+
+/// Opcode values understood by the decoder (and by the workload
+/// generators in src/sim).
+enum class VexOp : int {
+  Nop = 0,
+  Add = 1,
+  Sub = 2,
+  And = 3,
+  Or = 4,
+  Xor = 5,
+  Shl = 6,
+  Shr = 7,
+  Mul = 8,
+  Load = 9,
+  Store = 10,
+  Cmp = 11,
+  Branch = 12,
+  AddImm = 13,
+  JumpReg = 14,  ///< register-indirect jump: target = R[src1] + imm
+};
+
+/// Interface nets of a built core (for testbenches and stimulus).
+struct VexPorts {
+  std::vector<NetId> instr;                ///< slot 0 in the low bits
+  std::vector<std::vector<NetId>> load_data;  ///< per slot
+  std::vector<NetId> pc_out;
+  std::vector<std::vector<NetId>> store_addr;  ///< per slot
+  std::vector<std::vector<NetId>> store_data;  ///< per slot
+  std::vector<NetId> store_en;             ///< per slot
+};
+
+/// Builds the core into `design` (which must be empty).  Port naming:
+/// "clk", "instr[i]", "load_data{slot}[i]" inputs; store interface and
+/// "pc" outputs.  Returns the interface nets.
+VexPorts build_vex_core(Design& design, const VexConfig& cfg);
+
+/// Convenience: create the design, build the core, run Design::check().
+Design make_vex_design(const Library& lib, const VexConfig& cfg,
+                       const std::string& name = "vex");
+
+}  // namespace vipvt

@@ -1,0 +1,46 @@
+#include "placement/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vipvt {
+
+Floorplan Floorplan::for_design(const Design& design,
+                                const FloorplanConfig& cfg) {
+  const double cell_area = design.total_area();
+  if (cell_area <= 0.0) throw std::invalid_argument("floorplan: empty design");
+  const double die_area = cell_area / cfg.target_utilization;
+  const double height = std::sqrt(die_area / cfg.aspect_ratio);
+  const double width = die_area / height;
+  const auto& site = design.lib().site();
+  // Snap to whole rows/sites.
+  const int rows = std::max(1, static_cast<int>(std::ceil(height / site.row_height_um)));
+  const int sites = std::max(1, static_cast<int>(std::ceil(width / site.site_width_um)));
+  Rect die{{0.0, 0.0},
+           {sites * site.site_width_um, rows * site.row_height_um}};
+  return Floorplan(die, site.row_height_um, site.site_width_um);
+}
+
+Floorplan::Floorplan(Rect die, double row_height, double site_width)
+    : die_(die), row_height_(row_height), site_width_(site_width) {
+  if (die.width() <= 0 || die.height() <= 0 || row_height <= 0 ||
+      site_width <= 0) {
+    throw std::invalid_argument("floorplan: degenerate geometry");
+  }
+  num_rows_ = std::max(1, static_cast<int>(die.height() / row_height));
+  sites_per_row_ = std::max(1, static_cast<int>(die.width() / site_width));
+}
+
+int Floorplan::row_at(double y) const {
+  // Small epsilon so that row_y(r) round-trips to r despite FP rounding.
+  const int row = static_cast<int>((y - die_.lo.y) / row_height_ + 1e-6);
+  return std::clamp(row, 0, num_rows_ - 1);
+}
+
+int Floorplan::site_at(double x) const {
+  const int site = static_cast<int>((x - die_.lo.x) / site_width_ + 1e-6);
+  return std::clamp(site, 0, sites_per_row_ - 1);
+}
+
+}  // namespace vipvt

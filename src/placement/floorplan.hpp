@@ -1,0 +1,47 @@
+#pragma once
+// Row-based standard-cell floorplan.  The die is sized from total cell
+// area and a target row utilization (the paper's VEX run used ~70 %),
+// then divided into rows of placement sites.
+
+#include "netlist/design.hpp"
+#include "util/geometry.hpp"
+
+namespace vipvt {
+
+struct FloorplanConfig {
+  double target_utilization = 0.70;
+  double aspect_ratio = 1.0;  ///< width / height
+};
+
+class Floorplan {
+ public:
+  /// Sizes the die so that sum(cell area) / die area == utilization.
+  static Floorplan for_design(const Design& design, const FloorplanConfig& cfg);
+
+  /// Explicit construction (tests).
+  Floorplan(Rect die, double row_height, double site_width);
+
+  const Rect& die() const { return die_; }
+  double row_height() const { return row_height_; }
+  double site_width() const { return site_width_; }
+  int num_rows() const { return num_rows_; }
+  int sites_per_row() const { return sites_per_row_; }
+
+  /// y coordinate of a row's bottom edge.
+  double row_y(int row) const { return die_.lo.y + row_height_ * row; }
+  /// x coordinate of a site's left edge.
+  double site_x(int site) const { return die_.lo.x + site_width_ * site; }
+  /// Row containing (or nearest to) the y coordinate.
+  int row_at(double y) const;
+  /// Site containing (or nearest to) the x coordinate.
+  int site_at(double x) const;
+
+ private:
+  Rect die_;
+  double row_height_;
+  double site_width_;
+  int num_rows_;
+  int sites_per_row_;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,71 @@
+#pragma once
+// Activity-based power engine: the PrimePower stand-in.
+//
+//   switching  = 1/2 * C_net * Vdd_driver^2 * toggle_rate * f   (net charging)
+//   internal   = E_int(corner) * toggle_rate(out) * f           (cell internal)
+//   leakage    = leak(corner) * leakage_factor(Lgate, Vdd)      (subthreshold)
+//
+// Units: pF * V^2 * GHz = mW;  pJ * GHz = mW.
+//
+// The engine rolls results up per functional unit (Table 1), per pipeline
+// stage, per voltage domain, and separates the level-shifter contribution
+// (Table 2 / Fig. 5 / Fig. 6).
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "variation/model.hpp"
+
+namespace vipvt {
+
+/// Per-net switching activity (from the logic simulator or synthetic).
+struct ActivityDb {
+  std::vector<double> toggle_rate;  ///< transitions per cycle, per net
+
+  static ActivityDb uniform(const Design& design, double rate);
+};
+
+struct PowerBreakdown {
+  double switching_mw = 0.0;
+  double internal_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw() const { return switching_mw + internal_mw + leakage_mw; }
+
+  double dynamic_mw() const { return switching_mw + internal_mw; }
+
+  /// Contribution of level-shifter cells (included in the totals above).
+  double level_shifter_mw = 0.0;
+  double level_shifter_leakage_mw = 0.0;
+
+  std::vector<double> per_unit_mw;    ///< indexed by UnitId
+  std::array<double, kNumPipeStages> per_stage_mw{};
+  std::vector<double> per_domain_mw;  ///< indexed by DomainId
+};
+
+struct PowerConfig {
+  double clock_freq_ghz = 0.256;  ///< the paper's 256 MHz fmax
+  /// Optional variation context: when set, leakage uses the systematic
+  /// Lgate at each cell's location (DIBL-aware), as fabricated silicon
+  /// would exhibit.
+  const VariationModel* variation = nullptr;
+  const DieLocation* location = nullptr;
+};
+
+class PowerEngine {
+ public:
+  PowerEngine(const Design& design, const ActivityDb& activity);
+
+  /// Compute the full breakdown with the given supply corner per domain
+  /// (index = DomainId; missing entries default to the low corner).
+  PowerBreakdown compute(std::span<const int> domain_corner,
+                         const PowerConfig& cfg) const;
+
+ private:
+  const Design* design_;
+  const ActivityDb* activity_;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,164 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vipvt {
+
+LogicSimulator::LogicSimulator(const Design& design) : design_(&design) {
+  const Design& d = *design_;
+  values_.assign(d.num_nets(), 0);
+  toggles_.assign(d.num_nets(), 0);
+
+  // Topological order over combinational instances (Kahn on gate level).
+  std::vector<std::uint32_t> pending(d.num_instances(), 0);
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const Cell& cell = d.cell_of(i);
+    if (cell.is_sequential()) {
+      flops_.push_back(i);
+      continue;
+    }
+    std::uint32_t deps = 0;
+    for (std::size_t p = 0; p < cell.pins.size(); ++p) {
+      if (!cell.pins[p].is_input) continue;
+      const Net& net = d.net(d.instance(i).conns[p]);
+      if (net.has_cell_driver() &&
+          !d.cell_of(net.driver.inst).is_sequential()) {
+        ++deps;
+      }
+    }
+    pending[i] = deps;
+    if (deps == 0) topo_gates_.push_back(i);
+  }
+  for (std::size_t qi = 0; qi < topo_gates_.size(); ++qi) {
+    const InstId u = topo_gates_[qi];
+    const Cell& cell = d.cell_of(u);
+    const NetId out = d.instance(u).conns[cell.output_pin()];
+    for (const auto& sink : d.net(out).sinks) {
+      if (d.cell_of(sink.inst).is_sequential()) continue;
+      if (--pending[sink.inst] == 0) topo_gates_.push_back(sink.inst);
+    }
+  }
+  std::size_t comb_count = 0;
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    if (!d.cell_of(i).is_sequential()) ++comb_count;
+  }
+  if (topo_gates_.size() != comb_count) {
+    throw std::runtime_error("LogicSimulator: combinational loop");
+  }
+  flop_state_.assign(flops_.size(), 0);
+  reset();
+}
+
+void LogicSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  std::fill(flop_state_.begin(), flop_state_.end(), 0);
+  cycles_ = 0;
+  settle();
+  inputs_dirty_ = false;
+  // The initial settle is not activity.
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+}
+
+void LogicSimulator::set_input(NetId net, bool v) {
+  if (!design_->net(net).is_primary_input) {
+    throw std::invalid_argument("set_input: not a primary input");
+  }
+  const auto nv = static_cast<std::uint8_t>(v);
+  if (values_[net] != nv) {
+    values_[net] = nv;
+    ++toggles_[net];
+    inputs_dirty_ = true;
+  }
+}
+
+bool LogicSimulator::eval_gate(InstId inst) const {
+  const Design& d = *design_;
+  const Cell& cell = d.cell_of(inst);
+  const auto& conns = d.instance(inst).conns;
+  auto in = [&](int k) { return values_[conns[static_cast<std::size_t>(k)]] != 0; };
+  switch (cell.func) {
+    case CellFunc::Inv: return !in(0);
+    case CellFunc::Buf: return in(0);
+    case CellFunc::LevelShifter: return in(0);
+    case CellFunc::Nand2: return !(in(0) && in(1));
+    case CellFunc::Nand3: return !(in(0) && in(1) && in(2));
+    case CellFunc::Nand4: return !(in(0) && in(1) && in(2) && in(3));
+    case CellFunc::Nor2: return !(in(0) || in(1));
+    case CellFunc::Nor3: return !(in(0) || in(1) || in(2));
+    case CellFunc::And2: return in(0) && in(1);
+    case CellFunc::And3: return in(0) && in(1) && in(2);
+    case CellFunc::Or2: return in(0) || in(1);
+    case CellFunc::Or3: return in(0) || in(1) || in(2);
+    case CellFunc::Xor2: return in(0) != in(1);
+    case CellFunc::Xnor2: return in(0) == in(1);
+    case CellFunc::Aoi21: return !((in(0) && in(1)) || in(2));
+    case CellFunc::Oai21: return !((in(0) || in(1)) && in(2));
+    case CellFunc::Aoi22: return !((in(0) && in(1)) || (in(2) && in(3)));
+    case CellFunc::Mux2: return in(2) ? in(1) : in(0);
+    case CellFunc::Maj3:
+      return (in(0) && in(1)) || (in(0) && in(2)) || (in(1) && in(2));
+    case CellFunc::Tie0: return false;
+    case CellFunc::Tie1: return true;
+    case CellFunc::Dff:
+    case CellFunc::RazorDff:
+      throw std::logic_error("eval_gate on sequential cell");
+  }
+  throw std::logic_error("eval_gate: unknown function");
+}
+
+void LogicSimulator::settle() {
+  const Design& d = *design_;
+  for (InstId inst : topo_gates_) {
+    const Cell& cell = d.cell_of(inst);
+    const NetId out = d.instance(inst).conns[cell.output_pin()];
+    const auto nv = static_cast<std::uint8_t>(eval_gate(inst));
+    if (values_[out] != nv) {
+      values_[out] = nv;
+      ++toggles_[out];
+    }
+  }
+}
+
+void LogicSimulator::step() {
+  const Design& d = *design_;
+  // Primary-input changes must propagate through combinational logic
+  // before the edge, so flops capture a consistent pre-edge state
+  // regardless of how many gates separate them from the inputs.
+  if (inputs_dirty_) {
+    settle();
+    inputs_dirty_ = false;
+  }
+  // Capture D with pre-edge values.
+  for (std::size_t k = 0; k < flops_.size(); ++k) {
+    const InstId inst = flops_[k];
+    flop_state_[k] = values_[d.instance(inst).conns[0]];  // D is pin 0
+  }
+  // Update Q outputs.
+  for (std::size_t k = 0; k < flops_.size(); ++k) {
+    const InstId inst = flops_[k];
+    const Cell& cell = d.cell_of(inst);
+    const NetId q = d.instance(inst).conns[cell.output_pin()];
+    if (values_[q] != flop_state_[k]) {
+      values_[q] = flop_state_[k];
+      ++toggles_[q];
+    }
+  }
+  settle();
+  ++cycles_;
+}
+
+double LogicSimulator::toggle_rate(NetId net) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(toggles_[net]) / static_cast<double>(cycles_);
+}
+
+NetId LogicSimulator::input_by_name(const std::string& name) const {
+  for (NetId n : design_->primary_inputs()) {
+    if (design_->net(n).name == name) return n;
+  }
+  throw std::out_of_range("input_by_name: no primary input " + name);
+}
+
+}  // namespace vipvt

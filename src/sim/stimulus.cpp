@@ -1,0 +1,141 @@
+#include "sim/stimulus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vipvt {
+
+FirStimulus::FirStimulus(const Design& design, const VexConfig& cfg,
+                         std::uint64_t seed)
+    : design_(&design), cfg_(cfg), layout_(SyllableLayout::from(cfg)),
+      rng_(seed) {
+  // Resolve input nets once.
+  instr_nets_.reserve(
+      static_cast<std::size_t>(layout_.syllable_bits * cfg.slots));
+  auto find_input = [&](const std::string& name) {
+    for (NetId n : design.primary_inputs()) {
+      if (design.net(n).name == name) return n;
+    }
+    throw std::out_of_range("FirStimulus: missing input " + name);
+  };
+  for (int i = 0; i < layout_.syllable_bits * cfg.slots; ++i) {
+    instr_nets_.push_back(find_input("instr[" + std::to_string(i) + "]"));
+  }
+  load_nets_.resize(static_cast<std::size_t>(cfg.slots));
+  for (int s = 0; s < cfg.slots; ++s) {
+    load_nets_[s].reserve(static_cast<std::size_t>(cfg.width));
+    for (int i = 0; i < cfg.width; ++i) {
+      load_nets_[s].push_back(find_input("load_data" + std::to_string(s) +
+                                         "[" + std::to_string(i) + "]"));
+    }
+  }
+}
+
+std::uint32_t FirStimulus::encode(VexOp op, int dest, int src1, int src2,
+                                  std::uint32_t imm) const {
+  const auto mask = [](int bits) {
+    return bits >= 32 ? ~0u : ((1u << bits) - 1u);
+  };
+  std::uint32_t w = 0;
+  w |= (static_cast<std::uint32_t>(op) & mask(cfg_.opcode_bits))
+       << layout_.opcode_lsb;
+  w |= (static_cast<std::uint32_t>(dest) & mask(layout_.addr_bits))
+       << layout_.dest_lsb;
+  w |= (static_cast<std::uint32_t>(src1) & mask(layout_.addr_bits))
+       << layout_.src1_lsb;
+  w |= (static_cast<std::uint32_t>(src2) & mask(layout_.addr_bits))
+       << layout_.src2_lsb;
+  w |= (imm & mask(layout_.imm_bits)) << layout_.imm_lsb;
+  return w;
+}
+
+void FirStimulus::apply_bus(LogicSimulator& sim,
+                            const std::vector<NetId>& nets,
+                            std::uint64_t value) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    sim.set_input(nets[i], (value >> i) & 1);
+  }
+}
+
+void FirStimulus::apply_syllable(LogicSimulator& sim, int slot,
+                                 std::uint32_t word) {
+  for (int i = 0; i < layout_.syllable_bits; ++i) {
+    sim.set_input(
+        instr_nets_[static_cast<std::size_t>(slot * layout_.syllable_bits + i)],
+        (word >> i) & 1);
+  }
+}
+
+void FirStimulus::step(LogicSimulator& sim) {
+  const int regs = cfg_.num_regs;
+  // Register roles (kept within the architectural register count).
+  const int r_sample = 1 % regs;
+  const int r_coeff = 2 % regs;
+  const int r_prod = 3 % regs;
+  const int r_acc = 4 % regs;
+  const int r_ptr = 5 % regs;
+  const int r_tmp = 6 % regs;
+
+  // A software-pipelined FIR body across the issue slots; the pattern
+  // repeats every 4 bundles with a store+branch epilogue bundle.
+  std::vector<std::uint32_t> bundle(static_cast<std::size_t>(cfg_.slots),
+                                    encode(VexOp::Nop, 0, 0, 0, 0));
+  switch (phase_) {
+    case 0:
+      bundle[0] = encode(VexOp::Load, r_sample, r_ptr, 0, 0);
+      if (cfg_.slots > 1) bundle[1] = encode(VexOp::Mul, r_prod, r_sample, r_coeff, 0);
+      if (cfg_.slots > 2) bundle[2] = encode(VexOp::Add, r_acc, r_acc, r_prod, 0);
+      if (cfg_.slots > 3) bundle[3] = encode(VexOp::AddImm, r_ptr, r_ptr, 0, 4);
+      break;
+    case 1:
+      bundle[0] = encode(VexOp::Load, r_tmp, r_ptr, 0, 4);
+      if (cfg_.slots > 1) bundle[1] = encode(VexOp::Mul, r_prod, r_tmp, r_coeff, 0);
+      if (cfg_.slots > 2) bundle[2] = encode(VexOp::Add, r_acc, r_acc, r_prod, 0);
+      if (cfg_.slots > 3) bundle[3] = encode(VexOp::Shl, r_tmp, r_sample, r_coeff, 0);
+      break;
+    case 2:
+      bundle[0] = encode(VexOp::Mul, r_prod, r_sample, r_coeff, 0);
+      if (cfg_.slots > 1) bundle[1] = encode(VexOp::Add, r_acc, r_acc, r_prod, 0);
+      if (cfg_.slots > 2) bundle[2] = encode(VexOp::Cmp, r_tmp, r_ptr, r_acc, 0);
+      if (cfg_.slots > 3) bundle[3] = encode(VexOp::Xor, r_tmp, r_sample, r_acc, 0);
+      break;
+    default:
+      bundle[0] = encode(VexOp::Store, 0, r_ptr, r_acc, 8);
+      if (cfg_.slots > 1) bundle[1] = encode(VexOp::Branch, 0, r_tmp, 0, 16);
+      if (cfg_.slots > 2) bundle[2] = encode(VexOp::Sub, r_acc, r_acc, r_prod, 0);
+      if (cfg_.slots > 3) bundle[3] = encode(VexOp::Or, r_tmp, r_acc, r_sample, 0);
+      break;
+  }
+  phase_ = (phase_ + 1) % 4;
+  for (int s = 0; s < cfg_.slots; ++s) apply_syllable(sim, s, bundle[s]);
+
+  // FIR input samples: bounded random walk (adjacent samples correlated,
+  // high-order bits quiet — like real audio/sensor data).
+  sample_ += static_cast<std::int64_t>(rng_.below(257)) - 128;
+  const std::int64_t lim = (1ll << (cfg_.width - 1)) - 1;
+  sample_ = std::clamp<std::int64_t>(sample_, -lim, lim);
+  for (int s = 0; s < cfg_.slots; ++s) {
+    apply_bus(sim, load_nets_[s],
+              static_cast<std::uint64_t>(sample_ + s * 3));
+  }
+  sim.step();
+}
+
+void FirStimulus::run(LogicSimulator& sim, int cycles) {
+  for (int c = 0; c < cycles; ++c) step(sim);
+}
+
+RandomStimulus::RandomStimulus(const Design& design, std::uint64_t seed)
+    : design_(&design), rng_(seed) {}
+
+void RandomStimulus::run(LogicSimulator& sim, int cycles) {
+  for (int c = 0; c < cycles; ++c) {
+    for (NetId n : design_->primary_inputs()) {
+      if (design_->net(n).is_clock) continue;
+      sim.set_input(n, rng_.chance(0.5));
+    }
+    sim.step();
+  }
+}
+
+}  // namespace vipvt

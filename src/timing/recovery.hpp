@@ -1,0 +1,71 @@
+#pragma once
+// Timing-driven power recovery via dual-/triple-Vth assignment — the
+// pass a commercial performance-optimized synthesis flow runs after
+// timing closure.  Slack-rich combinational cells are swapped to HVT and
+// then UHVT flavours (same footprint and pin caps, slower, orders of
+// magnitude less leakage).  Two consequences the reproduction depends on:
+//
+//  1. Leakage collapses to the ~1 % share of total power the paper
+//     reports for its low-power ST library.
+//  2. Every pipeline stage is pushed up against the clock (the "slack
+//     wall"), which is what makes all of DC/EX/WB violate under the
+//     worst-case variation scenario (Fig. 3), creating the paper's
+//     multi-scenario structure.
+//
+// The pass is conservative per wave (assumes several cells of one path
+// swap together) and ends with a repair loop that downgrades cells on
+// violating paths, so the nominal design is still slack-met on exit.
+
+#include <array>
+
+#include "netlist/design.hpp"
+#include "timing/sta.hpp"
+
+namespace vipvt {
+
+// Strategy: leakage-first mapping — every swappable cell starts at the
+// slowest (UHVT) flavour — followed by timing-driven Vth *downgrades*
+// along violating paths until each endpoint regains its per-stage slack
+// target.  Because the closing direction is "speed paths up just enough",
+// final stage slacks land at the targets, which is how the flow dials in
+// the paper's stage profile (EX pinned at the clock, DC a little above,
+// WB above DC, FE loose and excluded from the analysis).
+struct RecoveryConfig {
+  /// Target nominal slack per pipeline stage of the capturing endpoint,
+  /// as a fraction of the clock period (FE, DC, EX, WB, Other).
+  std::array<double, kNumPipeStages> stage_slack_target{
+      {0.12, 0.048, 0.022, 0.078, 0.12}};
+  /// Absolute override for all stages; < 0 disables.
+  double target_ns = -1.0;
+  int max_rounds = 200;
+  /// Endpoints repaired per round before re-timing.
+  int batch_size = 48;
+  /// Extra estimated gain collected beyond the gap (covers slew effects).
+  double gain_safety = 1.15;
+  /// Levels of transitive fanin offered for downgrade: slow drivers off
+  /// the path degrade slews on it (graph-based STA keeps the max), so
+  /// path-only repair can stall.
+  int fanin_depth = 3;
+  /// Contribution discount per fanin level.
+  double fanin_discount = 0.35;
+};
+
+struct RecoveryReport {
+  std::size_t swapped_to_hvt = 0;   ///< cells ending at HVT
+  std::size_t swapped_to_uhvt = 0;  ///< cells ending at UHVT
+  std::size_t reverted = 0;         ///< timing-driven downgrades applied
+  int passes = 0;                   ///< repair rounds run
+  double wns_before_ns = 0.0;
+  double wns_after_ns = 0.0;
+  double leakage_before_mw = 0.0;  ///< nominal, low corner
+  double leakage_after_mw = 0.0;
+};
+
+/// Runs recovery on a placed, timing-clean design.  The engine's clock
+/// period defines the wall; base delays are recomputed internally (all
+/// domains at the low corner).  On return the design holds the new cell
+/// assignment and the engine's base delays are up to date.
+RecoveryReport recover_power(Design& design, StaEngine& sta,
+                             const RecoveryConfig& cfg = {});
+
+}  // namespace vipvt

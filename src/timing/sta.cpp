@@ -1,0 +1,412 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vipvt {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+StaEngine::StaEngine(const Design& design, const StaOptions& opts)
+    : design_(&design), opts_(opts) {
+  build_graph();
+  compute_base_all_low();
+}
+
+double StaEngine::wire_length(NetId net) const {
+  return net_hpwl(*design_, net);
+}
+
+void StaEngine::build_graph() {
+  const Design& d = *design_;
+  const WireParams& wp = d.lib().wire();
+
+  // ---- node numbering ------------------------------------------------------
+  pin_offset_.resize(d.num_instances());
+  std::uint32_t next = 0;
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    pin_offset_[i] = next;
+    next += static_cast<std::uint32_t>(d.cell_of(i).pins.size());
+  }
+  port_node_.assign(d.num_nets(), 0);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_primary_input || net.is_primary_output) {
+      port_node_[n] = next++;
+    }
+  }
+  node_count_ = next;
+
+  auto pin_node = [&](InstId inst, std::uint16_t pin) {
+    return pin_offset_[inst] + pin;
+  };
+
+  // ---- per-net loads & parasitics (corner-independent) ----------------------
+  net_load_.assign(d.num_nets(), 0.0f);
+  std::vector<float> net_rw(d.num_nets(), 0.0f);
+  std::vector<float> net_cw(d.num_nets(), 0.0f);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) continue;
+    const double len = wire_length(n);
+    net_rw[n] = static_cast<float>(wp.resistance(len));
+    net_cw[n] = static_cast<float>(wp.capacitance(len));
+    double load = net_cw[n];
+    for (const auto& sink : net.sinks) {
+      load += d.cell_of(sink.inst).pins[sink.pin].cap_pf;
+    }
+    if (net.is_primary_output) load += opts_.primary_output_load_pf;
+    net_load_[n] = static_cast<float>(load);
+  }
+
+  // ---- edges ---------------------------------------------------------------
+  edges_.clear();
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const Cell& cell = d.cell_of(i);
+    if (cell.is_sequential()) continue;  // clk->q handled as launch
+    for (const auto& arc : cell.arcs) {
+      Edge e;
+      e.from = pin_node(i, arc.from_pin);
+      e.to = pin_node(i, arc.to_pin);
+      e.inst = i;
+      edges_.push_back(e);
+    }
+  }
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    const Net& net = d.net(n);
+    if (net.is_clock) continue;  // ideal clock
+    std::uint32_t src;
+    if (net.has_cell_driver()) {
+      src = pin_node(net.driver.inst, net.driver.pin);
+    } else if (net.is_primary_input) {
+      src = port_node_[n];
+    } else {
+      continue;  // dangling
+    }
+    for (const auto& sink : net.sinks) {
+      Edge e;
+      e.from = src;
+      e.to = pin_node(sink.inst, sink.pin);
+      const double sink_cap = d.cell_of(sink.inst).pins[sink.pin].cap_pf;
+      e.base_delay =
+          static_cast<float>(net_rw[n] * (0.5 * net_cw[n] + sink_cap));
+      edges_.push_back(e);
+    }
+    if (net.is_primary_output && net.has_cell_driver()) {
+      Edge e;
+      e.from = src;
+      e.to = port_node_[n];
+      e.base_delay = static_cast<float>(
+          net_rw[n] * (0.5 * net_cw[n] + opts_.primary_output_load_pf));
+      edges_.push_back(e);
+    }
+  }
+
+  // ---- topological ordering (Kahn over nodes) -------------------------------
+  std::vector<std::uint32_t> indeg(node_count_, 0);
+  for (const auto& e : edges_) ++indeg[e.to];
+  std::vector<std::uint32_t> head(node_count_ + 1, 0);
+  for (const auto& e : edges_) ++head[e.from + 1];
+  for (std::size_t i = 1; i <= node_count_; ++i) head[i] += head[i - 1];
+  std::vector<std::uint32_t> adj(edges_.size());
+  {
+    std::vector<std::uint32_t> cursor(head.begin(), head.end() - 1);
+    for (std::uint32_t ei = 0; ei < edges_.size(); ++ei) {
+      adj[cursor[edges_[ei].from]++] = ei;
+    }
+  }
+  std::vector<std::uint32_t> rank(node_count_, 0);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(node_count_);
+  for (std::uint32_t v = 0; v < node_count_; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  std::uint32_t processed = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::uint32_t u = queue[qi];
+    rank[u] = processed++;
+    for (std::uint32_t ai = head[u]; ai < head[u + 1]; ++ai) {
+      const Edge& e = edges_[adj[ai]];
+      if (--indeg[e.to] == 0) queue.push_back(e.to);
+    }
+  }
+  if (processed != node_count_) {
+    throw std::runtime_error("StaEngine: combinational loop detected");
+  }
+  std::sort(edges_.begin(), edges_.end(), [&](const Edge& a, const Edge& b) {
+    return rank[a.from] < rank[b.from];
+  });
+
+  // ---- launch nodes & endpoints ---------------------------------------------
+  launch_nodes_.clear();
+  launch_inst_.clear();
+  endpoints_.clear();
+  endpoint_setup_.clear();
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const Cell& cell = d.cell_of(i);
+    if (!cell.is_sequential()) continue;
+    launch_nodes_.push_back(pin_node(i, cell.output_pin()));
+    launch_inst_.push_back(i);
+    // D pin is pin 0 by library construction.
+    Endpoint ep;
+    ep.flop = i;
+    ep.net = d.instance(i).conns[0];
+    ep.stage = d.instance(i).stage;
+    ep.node = pin_node(i, 0);
+    endpoints_.push_back(ep);
+    endpoint_setup_.push_back(cell.setup_ns);
+  }
+  for (NetId n : d.primary_inputs()) {
+    if (d.net(n).is_clock) continue;
+    launch_nodes_.push_back(port_node_[n]);
+    launch_inst_.push_back(kInvalidInst);
+  }
+  for (NetId n : d.primary_outputs()) {
+    const Net& net = d.net(n);
+    Endpoint ep;
+    ep.flop = kInvalidInst;
+    ep.net = n;
+    ep.stage = net.has_cell_driver() ? d.instance(net.driver.inst).stage
+                                     : PipeStage::Other;
+    ep.node = port_node_[n];
+    endpoints_.push_back(ep);
+    endpoint_setup_.push_back(0.0);
+  }
+  launch_base_.assign(launch_nodes_.size(), 0.0f);
+
+  arrival_.assign(node_count_, kNegInf);
+  pred_edge_.assign(node_count_, -1);
+  inst_corner_.assign(d.num_instances(), kVddLow);
+}
+
+void StaEngine::compute_base(std::span<const int> domain_corner) {
+  const Design& d = *design_;
+
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const DomainId dom = d.instance(i).domain;
+    inst_corner_[i] = dom < domain_corner.size() ? domain_corner[dom] : kVddLow;
+  }
+
+  // Slew propagation + cell-arc base delays, in topological edge order.
+  // Only primary inputs start at the default slew; internal nodes take
+  // the max of their drivers' output slews.
+  std::vector<float> slew(node_count_, 0.0f);
+  for (NetId n : design_->primary_inputs()) {
+    if (design_->net(n).is_clock) continue;
+    slew[port_node_[n]] = static_cast<float>(opts_.default_input_slew_ns);
+  }
+
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    if (i == kInvalidInst) {
+      launch_base_[li] = 0.0f;
+      continue;
+    }
+    const Cell& cell = d.cell_of(i);
+    const int corner = inst_corner_[i];
+    const NetId qnet = d.instance(i).conns[cell.output_pin()];
+    const auto& arc = cell.arcs.at(0);  // clk->q, the flop's only arc
+    const double in_slew = opts_.default_input_slew_ns;
+    const double load = net_load_[qnet];
+    launch_base_[li] =
+        static_cast<float>(arc.corner[corner].delay.lookup(in_slew, load));
+    slew[launch_nodes_[li]] =
+        static_cast<float>(arc.corner[corner].out_slew.lookup(in_slew, load));
+  }
+
+  for (auto& e : edges_) {
+    if (e.inst != kInvalidInst) {
+      const Cell& cell = d.cell_of(e.inst);
+      const int corner = inst_corner_[e.inst];
+      const auto from_pin =
+          static_cast<std::uint16_t>(e.from - pin_offset_[e.inst]);
+      const TimingArc* arc = cell.arc_from(from_pin);
+      if (arc == nullptr) throw std::logic_error("compute_base: missing arc");
+      const NetId out_net = d.instance(e.inst).conns[arc->to_pin];
+      const double in_slew = slew[e.from];
+      const double load = net_load_[out_net];
+      e.base_delay =
+          static_cast<float>(arc->corner[corner].delay.lookup(in_slew, load));
+      const auto os = static_cast<float>(
+          arc->corner[corner].out_slew.lookup(in_slew, load));
+      slew[e.to] = std::max(slew[e.to], os);
+    } else {
+      // Net edge: delay fixed at build time; degrade slew downstream.
+      slew[e.to] = std::max(
+          slew[e.to], static_cast<float>(slew[e.from] + 2.0 * e.base_delay));
+    }
+  }
+}
+
+StaResult StaEngine::analyze(std::span<const double> inst_factor) const {
+  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
+  std::fill(pred_edge_.begin(), pred_edge_.end(), -1);
+  auto factor = [&](InstId i) {
+    return inst_factor.empty() ? 1.0 : inst_factor[i];
+  };
+
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    const double f = i == kInvalidInst ? 1.0 : factor(i);
+    arrival_[launch_nodes_[li]] = std::max(
+        arrival_[launch_nodes_[li]], static_cast<double>(launch_base_[li]) * f);
+  }
+
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    const Edge& e = edges_[ei];
+    const double a = arrival_[e.from];
+    if (a == kNegInf) continue;
+    const double f = e.inst == kInvalidInst ? 1.0 : factor(e.inst);
+    const double cand = a + static_cast<double>(e.base_delay) * f;
+    if (cand > arrival_[e.to]) {
+      arrival_[e.to] = cand;
+      pred_edge_[e.to] = static_cast<std::int32_t>(ei);
+    }
+  }
+
+  StaResult res;
+  res.clock_period_ns = opts_.clock_period_ns;
+  res.stage_wns.fill(std::numeric_limits<double>::infinity());
+  res.endpoint_slack.resize(endpoints_.size());
+  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+    const double a = arrival_[endpoints_[k].node];
+    const double slack = a == kNegInf
+                             ? std::numeric_limits<double>::infinity()
+                             : opts_.clock_period_ns - endpoint_setup_[k] - a;
+    res.endpoint_slack[k] = slack;
+    res.wns = std::min(res.wns, slack);
+    if (slack < 0.0 && std::isfinite(slack)) res.tns += slack;
+    auto& sw = res.stage_wns[static_cast<std::size_t>(endpoints_[k].stage)];
+    sw = std::min(sw, slack);
+  }
+  return res;
+}
+
+double StaEngine::min_period(std::span<const double> inst_factor) const {
+  const StaResult res = analyze(inst_factor);
+  double min_t = 0.0;
+  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+    if (!std::isfinite(res.endpoint_slack[k])) continue;
+    min_t =
+        std::max(min_t, opts_.clock_period_ns - res.endpoint_slack[k]);
+  }
+  return min_t;
+}
+
+std::vector<double> StaEngine::instance_slack(
+    std::span<const double> inst_factor) const {
+  constexpr double kPosInf = std::numeric_limits<double>::infinity();
+  analyze(inst_factor);  // fills arrival_
+  auto factor = [&](InstId i) {
+    return inst_factor.empty() ? 1.0 : inst_factor[i];
+  };
+
+  std::vector<double> required(node_count_, kPosInf);
+  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+    required[endpoints_[k].node] =
+        std::min(required[endpoints_[k].node],
+                 opts_.clock_period_ns - endpoint_setup_[k]);
+  }
+  // Edges are stored in topological order of their source; walking them
+  // backward relaxes required times correctly.
+  for (std::size_t ei = edges_.size(); ei-- > 0;) {
+    const Edge& e = edges_[ei];
+    if (required[e.to] == kPosInf) continue;
+    const double f = e.inst == kInvalidInst ? 1.0 : factor(e.inst);
+    required[e.from] = std::min(
+        required[e.from], required[e.to] - static_cast<double>(e.base_delay) * f);
+  }
+
+  std::vector<double> slack(design_->num_instances(), kPosInf);
+  for (InstId i = 0; i < design_->num_instances(); ++i) {
+    const auto lo = pin_offset_[i];
+    const auto hi = lo + design_->cell_of(i).pins.size();
+    for (auto node = lo; node < hi; ++node) {
+      if (required[node] == kPosInf || arrival_[node] == kNegInf) continue;
+      slack[i] = std::min(slack[i], required[node] - arrival_[node]);
+    }
+  }
+  return slack;
+}
+
+std::vector<double> StaEngine::instance_arc_delay() const {
+  std::vector<double> worst(design_->num_instances(), 0.0);
+  for (const auto& e : edges_) {
+    if (e.inst == kInvalidInst) continue;
+    worst[e.inst] =
+        std::max(worst[e.inst], static_cast<double>(e.base_delay));
+  }
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    if (i == kInvalidInst) continue;
+    worst[i] = std::max(worst[i], static_cast<double>(launch_base_[li]));
+  }
+  return worst;
+}
+
+void StaEngine::for_each_cell_arc(
+    const std::function<void(InstId, std::uint16_t, std::uint16_t, double)>&
+        fn) const {
+  for (const auto& e : edges_) {
+    if (e.inst == kInvalidInst) continue;
+    const auto from_pin =
+        static_cast<std::uint16_t>(e.from - pin_offset_[e.inst]);
+    const auto to_pin = static_cast<std::uint16_t>(e.to - pin_offset_[e.inst]);
+    fn(e.inst, from_pin, to_pin, static_cast<double>(e.base_delay));
+  }
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    if (i == kInvalidInst) continue;
+    const Cell& cell = design_->cell_of(i);
+    // Clock pin is pin 1, Q is the output pin by library construction.
+    fn(i, 1, cell.output_pin(), static_cast<double>(launch_base_[li]));
+  }
+}
+
+std::vector<PathStep> StaEngine::trace_path(
+    std::size_t endpoint_index, std::span<const double> inst_factor) const {
+  analyze(inst_factor);  // fills arrival_/pred_edge_
+  return trace_from_last_analysis(endpoint_index);
+}
+
+std::vector<PathStep> StaEngine::trace_from_last_analysis(
+    std::size_t endpoint_index) const {
+  std::vector<PathStep> rev;
+  std::uint32_t node = endpoints_.at(endpoint_index).node;
+  while (true) {
+    PathStep step;
+    step.arrival_ns = arrival_[node] == kNegInf ? 0.0 : arrival_[node];
+    // Map the node back to instance/pin via the sorted pin_offset_ table.
+    auto it = std::upper_bound(pin_offset_.begin(), pin_offset_.end(), node);
+    if (it != pin_offset_.begin()) {
+      const auto i =
+          static_cast<InstId>(std::distance(pin_offset_.begin(), it) - 1);
+      const auto lo = pin_offset_[i];
+      if (node < lo + design_->cell_of(i).pins.size()) {
+        step.inst = i;
+        step.pin_name = design_->instance(i).name + "/" +
+                        design_->cell_of(i).pins[node - lo].name;
+      }
+    }
+    if (step.inst == kInvalidInst) step.pin_name = "<port>";
+    const std::int32_t pe = pred_edge_[node];
+    if (pe >= 0) {
+      const Edge& e = edges_[static_cast<std::size_t>(pe)];
+      // Increment from the arrival difference: exact under any factors.
+      const double from_arr = arrival_[e.from] == kNegInf ? 0.0 : arrival_[e.from];
+      step.incr_ns = step.arrival_ns - from_arr;
+      rev.push_back(step);
+      node = e.from;
+    } else {
+      step.incr_ns = step.arrival_ns;
+      rev.push_back(step);
+      break;
+    }
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+}  // namespace vipvt

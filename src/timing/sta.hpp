@@ -1,0 +1,159 @@
+#pragma once
+// Static timing analysis engine.
+//
+// Two-phase design mirroring the paper's PrimeTime/SDF flow:
+//
+//  1. compute_base(): full delay calculation — slew propagation in
+//     topological order, NLDM table lookups per cell arc at each
+//     instance's supply corner, Elmore-style wire delays from placement.
+//     This produces the "annotated SDF" — a base delay per timing edge.
+//
+//  2. analyze(factors): fast forward propagation that scales every cell
+//     arc by its instance's variation factor (Lgate/Vdd dependent) and
+//     returns arrival/slack per endpoint, grouped per pipeline stage.
+//     This is the inner loop of Monte-Carlo SSTA, so it allocates nothing
+//     and touches each edge once.
+//
+// Clock is ideal (zero skew), as in the paper's single-clock VEX setup.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "placement/placer.hpp"
+
+namespace vipvt {
+
+struct StaOptions {
+  double clock_period_ns = 3.9;  ///< ~256 MHz, the paper's fmax
+  double default_input_slew_ns = 0.02;
+  double primary_output_load_pf = 0.003;
+};
+
+/// One timing endpoint: a flop D pin or a primary output.
+struct Endpoint {
+  InstId flop = kInvalidInst;     ///< invalid => primary output
+  NetId net = kInvalidNet;        ///< net feeding the endpoint
+  PipeStage stage = PipeStage::Other;
+  std::uint32_t node = 0;         ///< internal graph node (for backtrace)
+};
+
+struct StaResult {
+  double clock_period_ns = 0.0;
+  double wns = std::numeric_limits<double>::infinity();  ///< worst slack
+  double tns = 0.0;                                      ///< total negative
+  std::array<double, kNumPipeStages> stage_wns{};        ///< per stage
+  std::vector<double> endpoint_slack;  ///< aligned with StaEngine::endpoints()
+
+  double stage_worst(PipeStage s) const {
+    return stage_wns[static_cast<std::size_t>(s)];
+  }
+};
+
+/// A traced critical path element.
+struct PathStep {
+  InstId inst = kInvalidInst;  ///< invalid for port nodes
+  std::string pin_name;
+  double arrival_ns = 0.0;
+  double incr_ns = 0.0;
+};
+
+class StaEngine {
+ public:
+  /// The design must be fully placed (wire delays come from net HPWL).
+  StaEngine(const Design& design, const StaOptions& opts);
+
+  const Design& design() const { return *design_; }
+  const StaOptions& options() const { return opts_; }
+  void set_clock_period(double ns) { opts_.clock_period_ns = ns; }
+
+  /// Recomputes base (nominal) delays with the given supply corner per
+  /// voltage domain (index = DomainId, value = VddCorner).  Domains not
+  /// covered default to the low corner.
+  void compute_base(std::span<const int> domain_corner);
+  /// Convenience: everything at the low corner.
+  void compute_base_all_low() { compute_base({}); }
+
+  /// Supply corner assigned to an instance in the last compute_base().
+  int inst_corner(InstId id) const { return inst_corner_.at(id); }
+
+  /// Fast annotated analysis.  `inst_factor` scales every cell arc of
+  /// instance i by inst_factor[i]; pass {} for the nominal (all-ones) run.
+  StaResult analyze(std::span<const double> inst_factor = {}) const;
+
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+
+  /// Critical path to the given endpoint under the provided factors
+  /// (runs a fresh analysis).
+  std::vector<PathStep> trace_path(std::size_t endpoint_index,
+                                   std::span<const double> inst_factor = {}) const;
+
+  /// Critical path from the scratchpad of the most recent analyze() /
+  /// instance_slack() call — no re-analysis; cheap enough for batched
+  /// repair loops.  Increments reflect that call's factors.
+  std::vector<PathStep> trace_from_last_analysis(
+      std::size_t endpoint_index) const;
+
+  /// Minimum achievable clock period under the given factors (max
+  /// endpoint arrival + setup).
+  double min_period(std::span<const double> inst_factor = {}) const;
+
+  /// Per-instance worst slack: min over the instance's pins of
+  /// (required - arrival).  Instances on no constrained path report
+  /// +infinity.  Used by the power-recovery (dual-Vth) pass.
+  std::vector<double> instance_slack(
+      std::span<const double> inst_factor = {}) const;
+
+  /// Worst (max) nominal cell-arc base delay per instance, from the last
+  /// compute_base(); sequential cells report their clk->q launch delay.
+  std::vector<double> instance_arc_delay() const;
+
+  /// Visit every cell timing arc with its current base delay: callback
+  /// (inst, from_pin, to_pin, delay_ns).  Flop clk->q launch arcs are
+  /// included.  Used by the SDF writer.
+  void for_each_cell_arc(
+      const std::function<void(InstId, std::uint16_t, std::uint16_t, double)>&
+          fn) const;
+
+  std::size_t num_nodes() const { return node_count_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+ private:
+  struct Edge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    InstId inst = kInvalidInst;  ///< valid => cell arc (scaled by factor)
+    float base_delay = 0.0f;
+  };
+
+  void build_graph();
+  double wire_length(NetId net) const;
+
+  const Design* design_;
+  StaOptions opts_;
+
+  // Graph: one node per instance pin plus one per primary port net.
+  std::vector<std::uint32_t> pin_offset_;   // per instance
+  std::vector<std::uint32_t> port_node_;    // per net (only ports valid)
+  std::uint32_t node_count_ = 0;
+
+  std::vector<Edge> edges_;                 // sorted topologically
+  std::vector<std::uint32_t> topo_edge_order_;  // edge indices in topo order
+  std::vector<std::uint32_t> launch_nodes_; // flop Q outputs & PIs
+  std::vector<float> launch_base_;          // base launch delay (clk->q)
+  std::vector<InstId> launch_inst_;         // flop for clk->q scaling
+  std::vector<Endpoint> endpoints_;
+  std::vector<double> endpoint_setup_;
+  std::vector<int> inst_corner_;
+  std::vector<float> net_load_;  // pin caps + wire cap per net [pF]
+
+  // Scratch reused across analyze() calls (sized once).
+  mutable std::vector<double> arrival_;
+  mutable std::vector<std::int32_t> pred_edge_;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal 2-D geometry used across placement, floorplanning and the
+// exposure-field variation model.  All coordinates are in micrometres
+// unless a function documents otherwise (the exposure field works in mm).
+
+#include <algorithm>
+#include <cmath>
+
+namespace vipvt {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double euclidean(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle; lo is the lower-left corner, hi the upper-right.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+  constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  constexpr bool overlaps(const Rect& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+  /// Grow to include p (used for bounding-box accumulation).
+  void expand(Point p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// A rect primed for expand(): empty in the interval sense.
+  static constexpr Rect empty() {
+    constexpr double inf = 1e300;
+    return {{inf, inf}, {-inf, -inf}};
+  }
+  constexpr bool is_empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace vipvt

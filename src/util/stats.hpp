@@ -1,0 +1,98 @@
+#pragma once
+// Statistics toolkit for Monte-Carlo SSTA post-processing: running moments,
+// histogramming, normal-distribution fitting and the chi-squared
+// goodness-of-fit test the paper uses to validate normality of per-stage
+// critical-path distributions (95 % confidence).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vipvt {
+
+/// Welford-style single-pass accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never lost (matters for chi-squared bin counts).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const;
+
+  /// Normalised density of bin i (integrates to ~1 over the range).
+  double density(std::size_t i) const;
+
+  /// Render a horizontal ASCII bar chart (for bench/figure output).
+  std::string ascii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+/// CDF of N(mean, stddev^2) at x.
+double normal_cdf(double x, double mean, double stddev);
+/// Standard normal PDF.
+double normal_pdf(double z);
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// refined with one Halley step; |error| < 1e-12 over (0,1)).
+double normal_quantile(double p);
+
+/// Regularised upper incomplete gamma Q(a, x) — used for the chi-squared
+/// survival function.
+double gamma_q(double a, double x);
+/// Chi-squared survival function P(X >= x) with k degrees of freedom.
+double chi_squared_sf(double x, double k);
+
+/// Result of fitting samples to a normal distribution and testing the fit.
+struct NormalFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double chi2 = 0.0;        ///< chi-squared statistic over the test bins
+  double dof = 0.0;         ///< degrees of freedom (bins - 1 - 2 params)
+  double p_value = 1.0;     ///< survival probability of the statistic
+  bool accepted = false;    ///< true if fit not rejected at `confidence`
+  std::size_t bins_used = 0;
+};
+
+/// Fit samples to a normal and run a chi-squared goodness-of-fit test at
+/// the given confidence level (paper: 0.95).  Bins with small expected
+/// counts are pooled into their neighbours, the standard practice for the
+/// test's validity.
+NormalFit fit_normal(std::span<const double> samples, double confidence = 0.95);
+
+/// p-th percentile (p in [0,1]) by linear interpolation of the sorted data.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace vipvt

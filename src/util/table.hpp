@@ -1,0 +1,31 @@
+#pragma once
+// ASCII table renderer used by the benchmark harnesses to print the
+// paper's tables/figures in a stable, diffable format.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vipvt {
+
+/// Column-aligned plain-text table.  Numeric formatting is up to the
+/// caller (use Table::num for a consistent fixed-precision rendering).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Fixed-precision number formatting helper.
+  static std::string num(double v, int precision = 3);
+  /// Percentage rendering: 0.0835 -> "8.35%".
+  static std::string pct(double fraction, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,104 @@
+#include "variation/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vipvt {
+
+ExposureField::ExposureField(PolyCoeffs coeffs, double field_mm,
+                             double lgate_nom_nm, double max_dev_frac)
+    : coeffs_(coeffs), field_mm_(field_mm), lgate_nom_(lgate_nom_nm),
+      max_dev_frac_(max_dev_frac) {
+  if (field_mm <= 0 || lgate_nom_nm <= 0 || max_dev_frac <= 0) {
+    throw std::invalid_argument("ExposureField: bad parameters");
+  }
+  // Sample the raw polynomial to find its range, then rescale so eval()
+  // yields fractional deviation in [-max_dev_frac, +max_dev_frac].
+  constexpr int kGrid = 200;
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i <= kGrid; ++i) {
+    for (int j = 0; j <= kGrid; ++j) {
+      const double x = field_mm * i / kGrid;
+      const double y = field_mm * j / kGrid;
+      const double v = coeffs.eval(x, y);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi - lo < 1e-12) {
+    throw std::invalid_argument("ExposureField: degenerate polynomial");
+  }
+  const double mid = 0.5 * (hi + lo);
+  const double scale = max_dev_frac / (0.5 * (hi - lo));
+  coeffs_.a = coeffs.a * scale;
+  coeffs_.b = coeffs.b * scale;
+  coeffs_.c = coeffs.c * scale;
+  coeffs_.d = coeffs.d * scale;
+  coeffs_.e = coeffs.e * scale;
+  coeffs_.intercept = (coeffs.intercept - mid) * scale;
+}
+
+ExposureField ExposureField::scaled_65nm(const CharParams& cp) {
+  // Raw shape in the spirit of the Cain 130 nm polynomial: dominant
+  // negative linear trend along the diagonal (slowest at the origin) with
+  // mild bowl curvature and a small cross term.
+  // Curvature kept mild enough that the diagonal gradient stays monotone
+  // across the whole 28 mm field (vertex beyond the field edge).
+  PolyCoeffs raw;
+  raw.a = 0.0012;
+  raw.b = 0.0010;
+  raw.c = -0.115;
+  raw.d = -0.098;
+  raw.e = 0.0006;
+  raw.intercept = 3.2;
+  return ExposureField(raw, 28.0, cp.lgate_nom, 0.055);
+}
+
+double ExposureField::deviation_at(double x_mm, double y_mm) const {
+  const double x = std::clamp(x_mm, 0.0, field_mm_);
+  const double y = std::clamp(y_mm, 0.0, field_mm_);
+  return coeffs_.eval(x, y);
+}
+
+double ExposureField::lgate_at(double x_mm, double y_mm) const {
+  return lgate_nom_ * (1.0 + deviation_at(x_mm, y_mm));
+}
+
+std::string ExposureField::ascii_map(int n) const {
+  // Render top row (y max) first so the origin sits at the lower-left as
+  // in Fig. 2.
+  std::ostringstream out;
+  for (int j = n - 1; j >= 0; --j) {
+    const double y = field_mm_ * (j + 0.5) / n;
+    for (int i = 0; i < n; ++i) {
+      const double x = field_mm_ * (i + 0.5) / n;
+      const double dev = deviation_at(x, y) / max_dev_frac_;  // [-1, 1]
+      static constexpr char kShade[] = {'#', '@', '%', '+', '=', '-',
+                                        ':', '.', ' '};
+      int idx = static_cast<int>((dev + 1.0) * 0.5 * 8.999);
+      idx = std::clamp(idx, 0, 8);
+      out << kShade[8 - idx];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+DieLocation DieLocation::point(char which, double chip_mm) {
+  DieLocation loc;
+  double t;
+  switch (which) {
+    case 'A': t = 0.02; break;  // worst corner: all stages violate
+    case 'B': t = 0.18; break;  // two stages violate
+    case 'C': t = 0.45; break;  // only EX violates
+    case 'D': t = 0.90; break;  // nominal performance
+    default:
+      throw std::invalid_argument("DieLocation::point: expected A..D");
+  }
+  loc.core_origin_mm = {t * chip_mm, t * chip_mm};
+  return loc;
+}
+
+}  // namespace vipvt

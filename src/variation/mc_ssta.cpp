@@ -1,0 +1,82 @@
+#include "variation/mc_ssta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vipvt {
+
+double McResult::worst_three_sigma_slack() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& sd : stages) {
+    if (sd.present) worst = std::min(worst, sd.three_sigma_slack());
+  }
+  return worst;
+}
+
+int McResult::num_violating_stages() const {
+  int n = 0;
+  for (PipeStage s : {PipeStage::Decode, PipeStage::Execute,
+                      PipeStage::WriteBack}) {
+    if (stage(s).violates()) ++n;
+  }
+  return n;
+}
+
+MonteCarloSsta::MonteCarloSsta(const Design& design, StaEngine& sta,
+                               const VariationModel& model)
+    : design_(&design), sta_(&sta), model_(&model) {}
+
+McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg) const {
+  McResult result;
+  result.samples = cfg.samples;
+  for (int s = 0; s < kNumPipeStages; ++s) {
+    result.stages[s].stage = static_cast<PipeStage>(s);
+    result.stages[s].samples.reserve(static_cast<std::size_t>(cfg.samples));
+  }
+  const auto& endpoints = sta_->endpoints();
+  result.endpoint_crit_prob.assign(endpoints.size(), 0.0);
+  result.endpoint_stage_crit.assign(endpoints.size(), 0);
+  result.min_period_samples.reserve(static_cast<std::size_t>(cfg.samples));
+
+  Rng rng(cfg.seed);
+  std::vector<double> factors;
+  for (int k = 0; k < cfg.samples; ++k) {
+    Rng sample_rng = rng.fork();
+    model_->draw_factors(*design_, *sta_, loc, sample_rng, factors);
+    const StaResult sr = sta_->analyze(factors);
+
+    for (int s = 0; s < kNumPipeStages; ++s) {
+      const double wns = sr.stage_wns[static_cast<std::size_t>(s)];
+      if (std::isfinite(wns)) {
+        result.stages[s].present = true;
+        result.stages[s].samples.push_back(wns);
+      }
+    }
+    double min_t = 0.0;
+    for (std::size_t epi = 0; epi < endpoints.size(); ++epi) {
+      const double slack = sr.endpoint_slack[epi];
+      if (!std::isfinite(slack)) continue;
+      if (slack < 0.0) result.endpoint_crit_prob[epi] += 1.0;
+      const double stage_wns =
+          sr.stage_wns[static_cast<std::size_t>(endpoints[epi].stage)];
+      if (slack <= stage_wns + 1e-12) ++result.endpoint_stage_crit[epi];
+      min_t = std::max(min_t, sr.clock_period_ns - slack);
+    }
+    result.min_period_samples.push_back(min_t);
+  }
+
+  const double inv_n = cfg.samples > 0 ? 1.0 / cfg.samples : 0.0;
+  for (auto& p : result.endpoint_crit_prob) p *= inv_n;
+  for (int s = 0; s < kNumPipeStages; ++s) {
+    auto& sd = result.stages[s];
+    if (!sd.present || sd.samples.empty()) continue;
+    sd.fit = fit_normal(sd.samples, cfg.confidence);
+    const auto [lo, hi] =
+        std::minmax_element(sd.samples.begin(), sd.samples.end());
+    sd.min_slack = *lo;
+    sd.max_slack = *hi;
+  }
+  return result;
+}
+
+}  // namespace vipvt

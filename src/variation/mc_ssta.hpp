@@ -1,0 +1,74 @@
+#pragma once
+// Monte-Carlo statistical static timing analysis: the design-time
+// pre-characterization engine of the methodology.  For each sample it
+// draws a per-gate Lgate map (systematic + random), converts it to delay
+// multipliers, and re-runs the annotated STA — the in-code equivalent of
+// the paper's "parse the SDF, perturb gate delays, re-import into
+// PrimeTime" loop.  Outputs: per-pipeline-stage critical-path slack
+// distributions (fitted to normals with a chi-squared test, as in
+// Fig. 3), per-endpoint criticality statistics (for Razor sensor
+// planning), and the max-delay distribution.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "variation/model.hpp"
+
+namespace vipvt {
+
+struct McConfig {
+  int samples = 500;
+  std::uint64_t seed = 0x55aa55aa;
+  double confidence = 0.95;  ///< for the normality test
+};
+
+/// Distribution of one pipeline stage's worst slack across MC samples.
+struct StageSlackDist {
+  PipeStage stage = PipeStage::Other;
+  bool present = false;          ///< stage has endpoints
+  NormalFit fit;                 ///< fitted normal over slack samples
+  double min_slack = 0.0;
+  double max_slack = 0.0;
+  std::vector<double> samples;   ///< raw slack samples [ns]
+
+  /// Paper's violation criterion: the 3-sigma point of the slack
+  /// distribution is negative.
+  double three_sigma_slack() const { return fit.mean - 3.0 * fit.stddev; }
+  bool violates() const { return present && three_sigma_slack() < 0.0; }
+};
+
+struct McResult {
+  std::array<StageSlackDist, kNumPipeStages> stages;
+  std::vector<double> endpoint_crit_prob;  ///< P(endpoint slack < 0)
+  std::vector<std::uint32_t> endpoint_stage_crit;  ///< times it set stage WNS
+  std::vector<double> min_period_samples;  ///< achievable Tclk per sample
+  int samples = 0;
+
+  const StageSlackDist& stage(PipeStage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  /// Worst (most negative) 3-sigma slack across violating stages.
+  double worst_three_sigma_slack() const;
+  /// Number of violating stages among DC/EX/WB (the scenario severity).
+  int num_violating_stages() const;
+};
+
+class MonteCarloSsta {
+ public:
+  MonteCarloSsta(const Design& design, StaEngine& sta,
+                 const VariationModel& model);
+
+  /// Runs `cfg.samples` draws for a core at `loc`.  The STA engine's
+  /// current base delays (supply corners) are used as-is — call
+  /// StaEngine::compute_base first when analyzing an island configuration.
+  McResult run(const DieLocation& loc, const McConfig& cfg) const;
+
+ private:
+  const Design* design_;
+  StaEngine* sta_;
+  const VariationModel* model_;
+};
+
+}  // namespace vipvt

@@ -1,0 +1,112 @@
+#include "variation/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vipvt {
+
+CorrelatedField::CorrelatedField(double pitch_um, int grid, double sigma_nm,
+                                 Rng& rng)
+    : pitch_um_(pitch_um), grid_(grid) {
+  values_.resize(static_cast<std::size_t>(grid + 1) * (grid + 1));
+  for (auto& v : values_) v = rng.normal(0.0, sigma_nm);
+}
+
+double CorrelatedField::at(Point pos_um) const {
+  if (!active()) return 0.0;
+  const double gx = std::clamp(pos_um.x / pitch_um_, 0.0,
+                               static_cast<double>(grid_) - 1e-9);
+  const double gy = std::clamp(pos_um.y / pitch_um_, 0.0,
+                               static_cast<double>(grid_) - 1e-9);
+  const auto x0 = static_cast<std::size_t>(gx);
+  const auto y0 = static_cast<std::size_t>(gy);
+  const double fx = gx - static_cast<double>(x0);
+  const double fy = gy - static_cast<double>(y0);
+  const auto stride = static_cast<std::size_t>(grid_ + 1);
+  const double v00 = values_[y0 * stride + x0];
+  const double v01 = values_[y0 * stride + x0 + 1];
+  const double v10 = values_[(y0 + 1) * stride + x0];
+  const double v11 = values_[(y0 + 1) * stride + x0 + 1];
+  const double w00 = (1 - fx) * (1 - fy);
+  const double w01 = fx * (1 - fy);
+  const double w10 = (1 - fx) * fy;
+  const double w11 = fx * fy;
+  const double interp = v00 * w00 + v01 * w01 + v10 * w10 + v11 * w11;
+  // Bilinear blending of i.i.d. nodes shrinks the variance between nodes;
+  // renormalize so the marginal sigma is position-independent.
+  const double norm =
+      std::sqrt(w00 * w00 + w01 * w01 + w10 * w10 + w11 * w11);
+  return interp / norm;
+}
+
+VariationModel::VariationModel(const CharParams& cp, const ExposureField& field,
+                               const VariationConfig& cfg)
+    : cp_(cp), field_(&field), cfg_(cfg),
+      sigma_rnd_(cfg.three_sigma_random_frac / 3.0 * cp.lgate_nom) {}
+
+double VariationModel::sigma_correlated_nm() const {
+  return sigma_rnd_ * std::sqrt(cfg_.correlated_fraction);
+}
+
+double VariationModel::sigma_independent_nm() const {
+  return sigma_rnd_ * std::sqrt(1.0 - cfg_.correlated_fraction);
+}
+
+CorrelatedField VariationModel::draw_field(Rng& rng) const {
+  if (cfg_.correlated_fraction <= 0.0) return {};
+  // 24x24 nodes at one correlation length per pitch covers dies up to
+  // ~24 correlation lengths across; larger positions clamp to the edge.
+  return CorrelatedField(cfg_.correlation_length_um, 24,
+                         sigma_correlated_nm(), rng);
+}
+
+double VariationModel::systematic_lgate(Point cell_pos_um,
+                                        const DieLocation& loc) const {
+  const Point f = loc.field_mm(cell_pos_um);
+  return field_->lgate_at(f.x, f.y);
+}
+
+double VariationModel::sample_lgate(Point cell_pos_um, const DieLocation& loc,
+                                    Rng& rng,
+                                    const CorrelatedField* field) const {
+  const double sys = systematic_lgate(cell_pos_um, loc);
+  double eps;
+  if (field != nullptr && field->active()) {
+    eps = field->at(cell_pos_um) + rng.normal(0.0, sigma_independent_nm());
+  } else {
+    eps = rng.normal(0.0, sigma_rnd_);
+  }
+  eps = std::clamp(eps, -cfg_.clamp_sigma * sigma_rnd_,
+                   cfg_.clamp_sigma * sigma_rnd_);
+  return sys + eps;
+}
+
+double VariationModel::delay_factor(double lgate_nm, int corner,
+                                    VthClass vth) const {
+  return cp_.delay_factor(lgate_nm, vdd_of_corner(corner), cp_.vth0_of(vth));
+}
+
+double VariationModel::leakage_factor(double lgate_nm, int corner) const {
+  return cp_.leakage_factor(lgate_nm, vdd_of_corner(corner));
+}
+
+std::vector<double>& VariationModel::draw_factors(
+    const Design& design, const StaEngine& sta, const DieLocation& loc,
+    Rng& rng, std::vector<double>& factors) const {
+  factors.resize(design.num_instances());
+  const CorrelatedField field = draw_field(rng);
+  const CorrelatedField* fp = field.active() ? &field : nullptr;
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(i);
+    if (!inst.placed) {
+      throw std::logic_error("draw_factors: unplaced instance " + inst.name);
+    }
+    const double lgate = sample_lgate(inst.pos, loc, rng, fp);
+    factors[i] =
+        delay_factor(lgate, sta.inst_corner(i), design.cell_of(i).vth);
+  }
+  return factors;
+}
+
+}  // namespace vipvt

@@ -1,0 +1,110 @@
+#pragma once
+// Per-gate process variation model (paper Eq. 2):
+//
+//   Lgate(x, y) = f(x, y) + epsilon
+//
+// with f the systematic across-field polynomial (ExposureField) and
+// epsilon an i.i.d. zero-mean Gaussian with 3*sigma/mu = 6.5 % (random
+// component); total budget 3*sigma_tot/mu = 9 % per the ITRS-derived
+// 65 nm control limits.  The Lgate sample maps to a per-gate delay
+// multiplier through the alpha-power law with DIBL (Eqs. 3-4), evaluated
+// at the supply voltage of the gate's island.
+
+#include <vector>
+
+#include "liberty/physics.hpp"
+#include "netlist/design.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+#include "variation/field.hpp"
+
+namespace vipvt {
+
+struct VariationConfig {
+  double three_sigma_random_frac = 0.065;
+  // Lgate samples are clamped to +/- clamp_sigma random deviations to
+  // keep the alpha-power law in its valid overdrive range.
+  double clamp_sigma = 4.5;
+  /// Fraction of the random VARIANCE that is spatially correlated
+  /// within the die (0 = the paper's i.i.d. model; > 0 follows the
+  /// grid-correlated within-die models of Chang/Sapatnekar and
+  /// Friedberg et al. from the paper's related work).
+  double correlated_fraction = 0.0;
+  /// Correlation length of the within-die component [um].
+  double correlation_length_um = 150.0;
+};
+
+/// One Monte-Carlo draw of the spatially-correlated within-die component:
+/// a Gaussian grid, bilinearly interpolated at cell positions.
+class CorrelatedField {
+ public:
+  CorrelatedField() = default;  ///< inactive (i.i.d. model)
+  CorrelatedField(double pitch_um, int grid, double sigma_nm, Rng& rng);
+
+  bool active() const { return !values_.empty(); }
+  /// Correlated Lgate deviation [nm] at a core-local position [um].
+  double at(Point pos_um) const;
+
+ private:
+  double pitch_um_ = 1.0;
+  int grid_ = 0;
+  std::vector<double> values_;  // (grid+1)^2 node values
+};
+
+class VariationModel {
+ public:
+  VariationModel(const CharParams& cp, const ExposureField& field,
+                 const VariationConfig& cfg = {});
+
+  const ExposureField& field() const { return *field_; }
+  const CharParams& char_params() const { return cp_; }
+  double sigma_random_nm() const { return sigma_rnd_; }
+
+  /// Systematic Lgate [nm] for a cell of a core at `loc`.
+  double systematic_lgate(Point cell_pos_um, const DieLocation& loc) const;
+
+  /// Draw one Lgate sample (systematic + random) for a cell.  When a
+  /// correlated field is supplied (and configured), the random part is
+  /// split between the shared field and an independent residual.
+  double sample_lgate(Point cell_pos_um, const DieLocation& loc, Rng& rng,
+                      const CorrelatedField* field = nullptr) const;
+
+  /// Draw the per-sample correlated within-die component (inactive field
+  /// when correlated_fraction == 0).
+  CorrelatedField draw_field(Rng& rng) const;
+
+  /// Standard deviations of the split [nm].
+  double sigma_correlated_nm() const;
+  double sigma_independent_nm() const;
+
+  /// Delay multiplier for a gate with this Lgate at the given supply
+  /// corner, relative to nominal Lgate at that same corner and Vth class.
+  /// Relative to the *same* corner/class so it composes with StaEngine
+  /// base delays, which already include corner and class scaling.
+  double delay_factor(double lgate_nm, int corner,
+                      VthClass vth = VthClass::Svt) const;
+
+  /// Leakage multiplier at the given corner, relative to nominal Lgate
+  /// at the low corner (absolute corner effect included: the power
+  /// engine applies this directly on low-Vdd reference leakage).
+  double leakage_factor(double lgate_nm, int corner) const;
+
+  double vdd_of_corner(int corner) const {
+    return corner == kVddHigh ? cp_.vdd_high : cp_.vdd_low;
+  }
+
+  /// Fill `factors` (size = instances) with one Monte-Carlo draw for the
+  /// whole design; corners per instance come from the STA engine's last
+  /// compute_base().  Returns the same vector by reference for chaining.
+  std::vector<double>& draw_factors(const Design& design, const StaEngine& sta,
+                                    const DieLocation& loc, Rng& rng,
+                                    std::vector<double>& factors) const;
+
+ private:
+  CharParams cp_;
+  const ExposureField* field_;
+  VariationConfig cfg_;
+  double sigma_rnd_;  // nm
+};
+
+}  // namespace vipvt

@@ -1,0 +1,90 @@
+#include "vi/compensate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vipvt {
+
+VirtualChip fabricate_chip(const Design& design, const VariationModel& model,
+                           const DieLocation& loc, Rng& rng) {
+  VirtualChip chip;
+  chip.loc = loc;
+  chip.lgate_nm.resize(design.num_instances());
+  const CorrelatedField field = model.draw_field(rng);
+  const CorrelatedField* fp = field.active() ? &field : nullptr;
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(i);
+    if (!inst.placed) {
+      throw std::logic_error("fabricate_chip: unplaced instance");
+    }
+    chip.lgate_nm[i] = model.sample_lgate(inst.pos, loc, rng, fp);
+  }
+  return chip;
+}
+
+CompensationController::CompensationController(const Design& design,
+                                               StaEngine& sta,
+                                               const VariationModel& model,
+                                               const IslandPlan& plan,
+                                               const RazorPlan& sensors)
+    : design_(&design), sta_(&sta), model_(&model), plan_(&plan),
+      sensors_(&sensors) {}
+
+std::vector<double> CompensationController::chip_factors(
+    const VirtualChip& chip) const {
+  std::vector<double> factors(chip.lgate_nm.size());
+  for (InstId i = 0; i < factors.size(); ++i) {
+    factors[i] = model_->delay_factor(chip.lgate_nm[i], sta_->inst_corner(i),
+                                      design_->cell_of(i).vth);
+  }
+  return factors;
+}
+
+CompensationOutcome CompensationController::compensate(const VirtualChip& chip,
+                                                       bool allow_escalation) {
+  if (chip.lgate_nm.size() != design_->num_instances()) {
+    throw std::invalid_argument("compensate: chip/design size mismatch");
+  }
+  CompensationOutcome out;
+
+  // --- post-silicon test at the nominal supply ----------------------------
+  sta_->compute_base(plan_->corners_for_severity(0));
+  const std::vector<double> f0 = chip_factors(chip);
+  const StaResult truth0 = sta_->analyze(f0);
+  out.wns_before = truth0.wns;
+  out.sensor_stage_flags = sensor_flags(*sta_, *sensors_, truth0);
+  for (PipeStage s :
+       {PipeStage::Decode, PipeStage::Execute, PipeStage::WriteBack}) {
+    if (out.sensor_stage_flags[static_cast<std::size_t>(s)]) {
+      ++out.detected_severity;
+    }
+  }
+  // Coverage check: did any endpoint violate in a stage no sensor flagged?
+  for (std::size_t k = 0; k < sta_->endpoints().size(); ++k) {
+    const double slack = truth0.endpoint_slack[k];
+    if (std::isfinite(slack) && slack < 0.0 &&
+        !out.sensor_stage_flags[static_cast<std::size_t>(
+            sta_->endpoints()[k].stage)]) {
+      out.missed_violation = true;
+      break;
+    }
+  }
+
+  // --- raise islands per the detected scenario ------------------------------
+  int k = out.detected_severity;
+  const int max_k = plan_->num_islands();
+  while (true) {
+    sta_->compute_base(plan_->corners_for_severity(k));
+    const std::vector<double> fk = chip_factors(chip);
+    const StaResult truth = sta_->analyze(fk);
+    out.wns_after = truth.wns;
+    out.islands_raised = k;
+    out.timing_met = truth.wns >= 0.0;
+    if (out.timing_met || !allow_escalation || k >= max_k) break;
+    ++k;
+    out.escalated = true;
+  }
+  return out;
+}
+
+}  // namespace vipvt

@@ -1,0 +1,66 @@
+#pragma once
+// Post-silicon compensation (paper §3/§5): the virtual-silicon test bench.
+//
+// A VirtualChip is one fabricated die — a concrete per-gate Lgate map
+// drawn from the variation model at a die location.  The controller
+// reproduces the post-silicon test flow: read the Razor sensors at the
+// nominal (all-low) supply, map the flagged stages to a violation
+// scenario, raise the pre-planned number of voltage islands, and verify
+// the result.  The chip-wide adaptive-supply baseline (raise everything
+// to high Vdd) is the comparison point for the power results in Fig. 5.
+
+#include <array>
+
+#include "variation/model.hpp"
+#include "vi/islands.hpp"
+#include "vi/razor.hpp"
+
+namespace vipvt {
+
+struct VirtualChip {
+  DieLocation loc;
+  std::vector<double> lgate_nm;  ///< per instance, fabricated gate lengths
+};
+
+/// Draw one fabricated die.
+VirtualChip fabricate_chip(const Design& design, const VariationModel& model,
+                           const DieLocation& loc, Rng& rng);
+
+struct CompensationOutcome {
+  std::array<bool, kNumPipeStages> sensor_stage_flags{};
+  int detected_severity = 0;   ///< stages flagged among DC/EX/WB
+  int islands_raised = 0;      ///< after any escalation
+  bool timing_met = false;     ///< all endpoints meet Tclk post-compensation
+  bool escalated = false;      ///< needed more islands than detected
+  bool missed_violation = false;  ///< a violating endpoint had no sensor
+  double wns_before = 0.0;
+  double wns_after = 0.0;
+};
+
+class CompensationController {
+ public:
+  /// `sta` must be built over the final netlist (islands assigned, level
+  /// shifters inserted, Razor flops applied).
+  CompensationController(const Design& design, StaEngine& sta,
+                         const VariationModel& model, const IslandPlan& plan,
+                         const RazorPlan& sensors);
+
+  /// Runs detection + island raising (+ optional escalation) on one die.
+  CompensationOutcome compensate(const VirtualChip& chip,
+                                 bool allow_escalation = true);
+
+  /// Per-instance delay factors of a chip under the engine's current
+  /// corner assignment (exposed for power/analysis code).
+  std::vector<double> chip_factors(const VirtualChip& chip) const;
+
+  const IslandPlan& plan() const { return *plan_; }
+
+ private:
+  const Design* design_;
+  StaEngine* sta_;
+  const VariationModel* model_;
+  const IslandPlan* plan_;
+  const RazorPlan* sensors_;
+};
+
+}  // namespace vipvt

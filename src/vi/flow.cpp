@@ -1,0 +1,200 @@
+#include "vi/flow.hpp"
+
+#include <stdexcept>
+
+namespace vipvt {
+
+Flow::Flow(const FlowConfig& cfg) : cfg_(cfg) {
+  lib_ = std::make_unique<Library>(make_st65lp_like());
+  design_ = std::make_unique<Design>(make_vex_design(*lib_, cfg_.vex));
+  fp_ = std::make_unique<Floorplan>(
+      Floorplan::for_design(*design_, cfg_.floorplan));
+  db_ = std::make_unique<PlacementDb>(*fp_);
+  PlacerConfig pcfg = cfg_.placer;
+  pcfg.seed ^= cfg_.seed;
+  place_design(*design_, *fp_, pcfg, *db_);
+
+  sta_ = std::make_unique<StaEngine>(*design_, cfg_.sta);
+  // Performance-optimized reference: clock at the design's own fmax.
+  const double tmin = sta_->min_period();
+  nominal_clock_ns_ = tmin * (1.0 + cfg_.clock_margin);
+  sta_->set_clock_period(nominal_clock_ns_);
+  post_shifter_clock_ns_ = nominal_clock_ns_;
+
+  // Dual-Vth power recovery: slack-rich logic moves to HVT/UHVT, piling
+  // every stage against the clock (the paper's balanced-stage profile)
+  // and collapsing leakage to its low-power-library share.
+  if (cfg_.enable_recovery) {
+    recovery_report_ = recover_power(*design_, *sta_, cfg_.recovery);
+  }
+
+  field_ = std::make_unique<ExposureField>(
+      ExposureField::scaled_65nm(lib_->char_params()));
+  model_ = std::make_unique<VariationModel>(lib_->char_params(), *field_);
+}
+
+Flow::~Flow() = default;
+
+void Flow::rebuild_sta() {
+  const double period = sta_ ? sta_->options().clock_period_ns
+                             : cfg_.sta.clock_period_ns;
+  StaOptions opts = cfg_.sta;
+  opts.clock_period_ns = period;
+  sta_ = std::make_unique<StaEngine>(*design_, opts);
+}
+
+double Flow::shifter_perf_degradation() const {
+  if (nominal_clock_ns_ <= 0.0) return 0.0;
+  return (post_shifter_clock_ns_ - nominal_clock_ns_) / nominal_clock_ns_;
+}
+
+void Flow::characterize() {
+  if (scenarios_.has_value()) return;
+  ScenarioConfig sc = cfg_.scenario;
+  sc.mc.seed ^= cfg_.seed;
+  scenarios_ = characterize_scenarios(*design_, *sta_, *model_, sc);
+}
+
+void Flow::generate_islands() {
+  if (island_plan_.has_value()) return;
+  characterize();
+  // Representative location per severity; severities that never occurred
+  // fall back to the nearest more severe one (compensating harder than
+  // needed is safe).
+  std::vector<DieLocation> locs;
+  const auto& by_sev = scenarios_->by_severity;
+  std::optional<DieLocation> fallback;
+  for (std::size_t k = by_sev.size(); k-- > 0;) {
+    if (by_sev[k].has_value()) fallback = by_sev[k]->location;
+  }
+  for (const auto& sp : by_sev) {
+    if (sp.has_value()) {
+      locs.push_back(sp->location);
+      fallback = sp->location;
+    } else if (fallback.has_value()) {
+      locs.push_back(*fallback);
+    }
+  }
+  if (locs.empty()) {
+    // No violations anywhere: a single token island at the worst corner
+    // keeps the downstream pipeline exercised.
+    locs.push_back(DieLocation::point('A'));
+  }
+  IslandConfig icfg = cfg_.islands;
+  icfg.seed ^= cfg_.seed;
+  IslandGenerator gen(*design_, *fp_, *sta_, *model_, icfg);
+  island_plan_ = gen.generate(locs);
+}
+
+void Flow::insert_shifters() {
+  if (shifter_report_.has_value()) return;
+  generate_islands();
+  shifter_report_ = insert_level_shifters(*design_, *db_, *island_plan_);
+  design_->check();
+  rebuild_sta();
+  // Re-clock at the post-insertion fmax; the delta is the paper's
+  // "performance degradation" of the VI design style.
+  const double tmin = sta_->min_period();
+  post_shifter_clock_ns_ = tmin * (1.0 + cfg_.clock_margin);
+  sta_->set_clock_period(post_shifter_clock_ns_);
+}
+
+void Flow::plan_sensors() {
+  if (razor_plan_.has_value()) return;
+  insert_shifters();
+  // Worst-case MC on the final netlist: the most severe scenario location
+  // (or the A corner if the sweep found none).
+  DieLocation worst = DieLocation::point('A');
+  for (const auto& sp : scenarios_->by_severity) {
+    if (sp.has_value()) worst = sp->location;
+  }
+  // Highest-severity representative is the last non-empty slot; prefer
+  // the earliest sweep point with max severity (closest to A).
+  for (const auto& p : scenarios_->sweep) {
+    if (p.severity == scenarios_->max_severity()) {
+      worst = p.location;
+      break;
+    }
+  }
+  MonteCarloSsta mc(*design_, *sta_, *model_);
+  McConfig mcc = cfg_.scenario.mc;
+  mcc.seed ^= cfg_.seed * 3;
+  worst_case_mc_ = mc.run(worst, mcc);
+  razor_plan_ = plan_razor_sensors(*sta_, *worst_case_mc_, cfg_.razor);
+  apply_razor_plan(*design_, *sta_, *razor_plan_);
+  rebuild_sta();
+}
+
+void Flow::simulate_activity() {
+  if (activity_.has_value()) return;
+  plan_sensors();
+  LogicSimulator sim(*design_);
+  FirStimulus stim(*design_, cfg_.vex, cfg_.seed ^ 0xf17);
+  stim.run(sim, cfg_.sim_cycles);
+  ActivityDb db;
+  db.toggle_rate.resize(design_->num_nets());
+  for (NetId n = 0; n < design_->num_nets(); ++n) {
+    db.toggle_rate[n] = sim.toggle_rate(n);
+  }
+  activity_ = std::move(db);
+}
+
+const ScenarioSet& Flow::scenarios() const {
+  if (!scenarios_) throw std::logic_error("Flow: characterize() not run");
+  return *scenarios_;
+}
+const IslandPlan& Flow::island_plan() const {
+  if (!island_plan_) throw std::logic_error("Flow: generate_islands() not run");
+  return *island_plan_;
+}
+const ShifterReport& Flow::shifter_report() const {
+  if (!shifter_report_) throw std::logic_error("Flow: insert_shifters() not run");
+  return *shifter_report_;
+}
+const RazorPlan& Flow::razor_plan() const {
+  if (!razor_plan_) throw std::logic_error("Flow: plan_sensors() not run");
+  return *razor_plan_;
+}
+const McResult& Flow::worst_case_mc() const {
+  if (!worst_case_mc_) throw std::logic_error("Flow: plan_sensors() not run");
+  return *worst_case_mc_;
+}
+const ActivityDb& Flow::activity() const {
+  if (!activity_) throw std::logic_error("Flow: simulate_activity() not run");
+  return *activity_;
+}
+
+PowerBreakdown Flow::power_with_corners(std::span<const int> corners,
+                                        const DieLocation& loc) const {
+  if (!activity_) throw std::logic_error("Flow: simulate_activity() not run");
+  PowerEngine engine(*design_, *activity_);
+  PowerConfig pc;
+  pc.clock_freq_ghz = 1.0 / post_shifter_clock_ns_;
+  pc.variation = model_.get();
+  pc.location = &loc;
+  return engine.compute(corners, pc);
+}
+
+PowerBreakdown Flow::power_for_severity(int severity,
+                                        const DieLocation& loc) const {
+  const auto corners = island_plan().corners_for_severity(severity);
+  return power_with_corners(corners, loc);
+}
+
+PowerBreakdown Flow::power_chip_wide_high(const DieLocation& loc) const {
+  const std::vector<int> corners(
+      static_cast<std::size_t>(island_plan().num_islands()) + 1, kVddHigh);
+  return power_with_corners(corners, loc);
+}
+
+PowerBreakdown Flow::power_all_low(const DieLocation& loc) const {
+  return power_with_corners({}, loc);
+}
+
+CompensationController Flow::make_controller() {
+  if (!razor_plan_) throw std::logic_error("Flow: plan_sensors() not run");
+  return CompensationController(*design_, *sta_, *model_, *island_plan_,
+                                *razor_plan_);
+}
+
+}  // namespace vipvt

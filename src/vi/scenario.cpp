@@ -1,0 +1,43 @@
+#include "vi/scenario.hpp"
+
+#include <algorithm>
+
+namespace vipvt {
+
+int ScenarioSet::max_severity() const {
+  int m = 0;
+  for (const auto& p : sweep) m = std::max(m, p.severity);
+  return m;
+}
+
+ScenarioSet characterize_scenarios(const Design& design, StaEngine& sta,
+                                   const VariationModel& model,
+                                   const ScenarioConfig& cfg) {
+  MonteCarloSsta mc(design, sta, model);
+  ScenarioSet out;
+  out.sweep.reserve(static_cast<std::size_t>(cfg.sweep_points));
+  for (int i = 0; i < cfg.sweep_points; ++i) {
+    ScenarioPoint p;
+    p.diagonal_t = cfg.sweep_points == 1
+                       ? 0.0
+                       : static_cast<double>(i) / (cfg.sweep_points - 1);
+    p.location.core_origin_mm = {p.diagonal_t * cfg.chip_mm,
+                                 p.diagonal_t * cfg.chip_mm};
+    p.analysis = mc.run(p.location, cfg.mc);
+    p.severity = p.analysis.num_violating_stages();
+    out.sweep.push_back(std::move(p));
+  }
+  const int max_sev = out.max_severity();
+  out.by_severity.assign(static_cast<std::size_t>(std::max(max_sev, 0)),
+                         std::nullopt);
+  // Sweep runs from the A corner outward; the first (worst) point of each
+  // severity is its representative.
+  for (const auto& p : out.sweep) {
+    if (p.severity <= 0) continue;
+    auto& slot = out.by_severity[static_cast<std::size_t>(p.severity - 1)];
+    if (!slot.has_value()) slot = p;
+  }
+  return out;
+}
+
+}  // namespace vipvt

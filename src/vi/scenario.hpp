@@ -1,0 +1,55 @@
+#pragma once
+// Timing-violation scenario characterization (paper §4.4).
+//
+// As the core's position moves from the slow corner of the exposure field
+// (point A) toward the fast corner (point D), progressively fewer
+// pipeline stages have slack distributions violating the nominal
+// constraint at their 3-sigma point.  A *scenario* is identified by its
+// severity: the number of violating stages among DC/EX/WB.  The
+// characterizer sweeps locations along the chip diagonal, runs MC SSTA at
+// each, and keeps — for every severity that occurs — the *worst*
+// (closest-to-A) location, which is what the island generator must
+// compensate.
+
+#include <optional>
+#include <vector>
+
+#include "variation/mc_ssta.hpp"
+
+namespace vipvt {
+
+struct ScenarioPoint {
+  DieLocation location;
+  double diagonal_t = 0.0;  ///< position parameter in [0, 1]
+  int severity = 0;         ///< violating stages (0..3)
+  McResult analysis;
+};
+
+struct ScenarioSet {
+  std::vector<ScenarioPoint> sweep;  ///< every sweep point, A-side first
+
+  /// Worst representative location for each severity 1..max; index k
+  /// holds severity k+1.  Missing severities are nullopt.
+  std::vector<std::optional<ScenarioPoint>> by_severity;
+
+  int max_severity() const;
+};
+
+struct ScenarioConfig {
+  /// Sweep resolution along the chip diagonal.  Severity transitions can
+  /// be close together (two stages recovering within a fraction of a mm
+  /// of each other), so the sweep needs enough points to catch every
+  /// intermediate scenario.
+  int sweep_points = 12;
+  double chip_mm = 14.0;
+  McConfig mc;
+};
+
+/// Sweeps the core location along the chip diagonal and classifies the
+/// violation scenario at each point.  The STA engine must hold the
+/// nominal (all-low) base delays.
+ScenarioSet characterize_scenarios(const Design& design, StaEngine& sta,
+                                   const VariationModel& model,
+                                   const ScenarioConfig& cfg);
+
+}  // namespace vipvt

@@ -1,0 +1,103 @@
+#include "vi/shifters.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace vipvt {
+
+ShifterReport insert_level_shifters(Design& design, PlacementDb& db,
+                                    const IslandPlan& plan) {
+  ShifterReport report;
+  const Library& lib = design.lib();
+  // Drive selection by receiving-cluster size: shifters feed whole sink
+  // clusters plus the wire to reach them, so a single minimum-drive cell
+  // would dominate the crossing paths' delay.
+  const CellId ls_x1 = lib.find("LS_X1");
+  const CellId ls_x2 = lib.find("LS_X2");
+  const CellId ls_x4 = lib.find("LS_X4");
+  auto ls_for = [&](std::size_t cluster) {
+    if (cluster <= 1) return ls_x1;
+    if (cluster <= 4) return ls_x2;
+    return ls_x4;
+  };
+  // Receiving clusters larger than this are split across several
+  // shifters so no single shifter carries a pathological load.
+  constexpr std::size_t kMaxCluster = 12;
+  const UnitId ls_unit = design.unit_id("level_shifters");
+  const double logic_area_before = design.total_area();
+
+  const auto num_nets_before = static_cast<NetId>(design.num_nets());
+  std::size_t ls_index = 0;
+
+  for (NetId n = 0; n < num_nets_before; ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+
+    const int driver_rank =
+        net.has_cell_driver()
+            ? plan.domain_rank(design.instance(net.driver.inst).domain)
+            : 0;  // primary inputs arrive at the base (low) supply
+
+    // Group sinks that sit in a strictly higher-rank domain.
+    std::map<DomainId, std::vector<PinConn>> groups;
+    for (const auto& sink : net.sinks) {
+      const DomainId dom = design.instance(sink.inst).domain;
+      if (plan.domain_rank(dom) > driver_rank) {
+        groups[dom].push_back(sink);
+      }
+    }
+    if (groups.empty()) continue;
+    ++report.crossing_nets;
+
+    for (auto& [dom, all_sinks] : groups) {
+      // Split large receiving clusters so no shifter drives a
+      // pathological load.
+      for (std::size_t base = 0; base < all_sinks.size();
+           base += kMaxCluster) {
+        const std::size_t end =
+            std::min(base + kMaxCluster, all_sinks.size());
+        const std::vector<PinConn> sinks(all_sinks.begin() + base,
+                                         all_sinks.begin() + end);
+        // Place at the receiving cluster's centroid: the shifter's own
+        // output wire stays short, and the long haul stays on the
+        // original (low-swing) net, which was routed anyway.
+        Point centroid{0.0, 0.0};
+        for (const auto& s : sinks) {
+          centroid = centroid + design.instance(s.inst).pos;
+        }
+        centroid = centroid * (1.0 / static_cast<double>(sinks.size()));
+
+        const NetId shifted =
+            design.add_net("ls_net_" + std::to_string(ls_index));
+        const PipeStage stage = design.instance(sinks.front().inst).stage;
+        const CellId ls_cell = ls_for(sinks.size());
+        const InstId ls = design.add_instance(
+            "ls_" + std::to_string(ls_index), ls_cell, stage, ls_unit,
+            {n, shifted});
+        ++ls_index;
+        // ECO placement: nearest free hole, shoving row neighbours aside
+        // when the whitespace is fragmented.
+        const auto spot = db.allocate_with_shove(design, centroid,
+                                                 lib.cell(ls_cell).sites, ls);
+        if (!spot.has_value()) {
+          throw std::runtime_error("level shifter insertion: die is full");
+        }
+        design.instance(ls).pos = *spot;
+        design.instance(ls).placed = true;
+        design.instance(ls).domain = dom;  // powered by the receiving island
+
+        for (const auto& s : sinks) design.move_sink(n, s, shifted);
+
+        ++report.inserted;
+        report.area_um2 += lib.cell(ls_cell).area_um2;
+      }
+    }
+  }
+
+  report.area_fraction =
+      logic_area_before > 0 ? report.area_um2 / logic_area_before : 0.0;
+  return report;
+}
+
+}  // namespace vipvt

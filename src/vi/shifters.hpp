@@ -1,0 +1,37 @@
+#pragma once
+// Level-shifter insertion (paper §4.6).
+//
+// A net needs a level shifter wherever its driver's domain can sit at a
+// lower supply than a sink's domain in some violation scenario —
+// otherwise the low-swing signal leaves the high-Vdd receiver's pMOS
+// partially conducting (static current).  With nested slices the "can be
+// lower" relation is exactly the island rank order: base < island N <
+// ... < island 1.  Only low->high crossings are shifted, matching the
+// paper's choice.  One shifter is inserted per (net, receiving-domain)
+// pair, placed incrementally at the crossing midpoint so the optimized
+// placement is minimally perturbed.
+
+#include "netlist/design.hpp"
+#include "placement/placer.hpp"
+#include "vi/islands.hpp"
+
+namespace vipvt {
+
+struct ShifterReport {
+  std::size_t inserted = 0;
+  double area_um2 = 0.0;
+  /// Shifter area relative to the pre-insertion logic (cell) area — the
+  /// "LS area" row of Table 2.
+  double area_fraction = 0.0;
+  /// Crossing nets examined / shifted (diagnostics).
+  std::size_t crossing_nets = 0;
+};
+
+/// Inserts level shifters for the island plan.  The design's domains must
+/// already carry the island assignment.  New cells land in unit
+/// "level_shifters" and inherit the receiving domain; run Design::check()
+/// and rebuild any StaEngine afterwards (the netlist changed).
+ShifterReport insert_level_shifters(Design& design, PlacementDb& db,
+                                    const IslandPlan& plan);
+
+}  // namespace vipvt

@@ -1,0 +1,192 @@
+// Library/characterization tests: physics model sanity (the paper's
+// Eqs. 3-4), LUT interpolation, cell inventory and corner scaling.
+
+#include <gtest/gtest.h>
+
+#include "liberty/library.hpp"
+#include "liberty/lut.hpp"
+#include "liberty/physics.hpp"
+
+namespace vipvt {
+namespace {
+
+TEST(Physics, VthEffDecreasesWithShorterGate) {
+  CharParams cp;
+  const double vth_nom = cp.vth_eff(cp.lgate_nom, cp.vdd_low);
+  const double vth_short = cp.vth_eff(cp.lgate_nom * 0.9, cp.vdd_low);
+  const double vth_long = cp.vth_eff(cp.lgate_nom * 1.1, cp.vdd_low);
+  EXPECT_LT(vth_short, vth_nom);  // DIBL: shorter channel, lower Vth
+  EXPECT_GT(vth_long, vth_nom);
+  EXPECT_GT(vth_nom, 0.1);
+  EXPECT_LT(vth_nom, cp.vth0);
+}
+
+TEST(Physics, HighVddSpeedsUp) {
+  CharParams cp;
+  const double ratio = cp.high_vdd_speed_ratio();
+  // The whole methodology rests on a ~10 % boost at 1.2 V.
+  EXPECT_LT(ratio, 1.0);
+  EXPECT_GT(ratio, 0.80);
+  EXPECT_NEAR(ratio, 0.90, 0.04);
+}
+
+TEST(Physics, DelayGrowsSuperlinearlyWithLgate) {
+  CharParams cp;
+  const double d_nom = cp.delay_factor(cp.lgate_nom, cp.vdd_low);
+  const double d_p5 = cp.delay_factor(cp.lgate_nom * 1.05, cp.vdd_low);
+  EXPECT_DOUBLE_EQ(d_nom, 1.0);
+  // Lgate^1.5 alone gives 1.076; DIBL adds more.
+  EXPECT_GT(d_p5, 1.07);
+  EXPECT_LT(d_p5, 1.25);
+}
+
+TEST(Physics, LeakageRisesWithVddAndShortGate) {
+  CharParams cp;
+  EXPECT_DOUBLE_EQ(cp.leakage_factor(cp.lgate_nom, cp.vdd_low), 1.0);
+  EXPECT_GT(cp.leakage_factor(cp.lgate_nom, cp.vdd_high), 1.2);
+  EXPECT_GT(cp.leakage_factor(cp.lgate_nom * 0.95, cp.vdd_low), 1.0);
+  EXPECT_LT(cp.leakage_factor(cp.lgate_nom * 1.05, cp.vdd_low), 1.0);
+}
+
+TEST(Physics, DynamicScalesWithVddSquared) {
+  CharParams cp;
+  EXPECT_NEAR(cp.dynamic_factor(cp.vdd_high), 1.44, 1e-12);
+}
+
+TEST(Physics, RawDelayRejectsSubthresholdVdd) {
+  CharParams cp;
+  EXPECT_THROW(cp.raw_delay(cp.lgate_nom, 0.1), std::domain_error);
+}
+
+TEST(Lut2D, ExactAtGridPoints) {
+  Lut2D lut({0.0, 1.0}, {0.0, 2.0}, {10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(lut.lookup(0.0, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(0.0, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(1.0, 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(1.0, 2.0), 40.0);
+}
+
+TEST(Lut2D, BilinearInterior) {
+  Lut2D lut({0.0, 1.0}, {0.0, 2.0}, {10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(lut.lookup(0.5, 1.0), 25.0);
+}
+
+TEST(Lut2D, LinearExtrapolation) {
+  Lut2D lut({0.0, 1.0}, {0.0, 2.0}, {10.0, 20.0, 30.0, 40.0});
+  // Along slew at load 0: slope 20/unit; at slew=2 expect 50.
+  EXPECT_DOUBLE_EQ(lut.lookup(2.0, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(lut.lookup(-1.0, 0.0), -10.0);
+}
+
+TEST(Lut2D, RejectsBadAxes) {
+  EXPECT_THROW(Lut2D({1.0, 0.0}, {0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Lut2D({0.0}, {0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  Library lib_ = make_st65lp_like();
+};
+
+TEST_F(LibraryTest, HasCoreCells) {
+  for (const char* name :
+       {"INV_X1", "INV_X4", "NAND2_X1", "NOR2_X2", "XOR2_X1", "MUX2_X1",
+        "MAJ3_X1", "DFF_X1", "RAZOR_DFF_X1", "LS_X1", "TIE0_X1", "TIE1_X1"}) {
+    EXPECT_TRUE(lib_.try_find(name).has_value()) << name;
+  }
+  EXPECT_GE(lib_.num_cells(), 30u);
+}
+
+TEST_F(LibraryTest, CellForPicksSmallestDrive) {
+  const Cell& inv = lib_.cell(lib_.cell_for(CellFunc::Inv));
+  EXPECT_EQ(inv.drive, 1);
+}
+
+TEST_F(LibraryTest, PinConventions) {
+  const Cell& mux = lib_.cell(lib_.find("MUX2_X1"));
+  ASSERT_EQ(mux.pins.size(), 4u);
+  EXPECT_TRUE(mux.pins[0].is_input);
+  EXPECT_FALSE(mux.pins[mux.output_pin()].is_input);
+  EXPECT_EQ(mux.num_inputs(), 3);
+
+  const Cell& dff = lib_.cell(lib_.find("DFF_X1"));
+  ASSERT_EQ(dff.pins.size(), 3u);
+  EXPECT_EQ(dff.pins[0].name, "D");
+  EXPECT_TRUE(dff.pins[1].is_clock);
+  EXPECT_TRUE(dff.is_sequential());
+  EXPECT_GT(dff.setup_ns, 0.0);
+}
+
+TEST_F(LibraryTest, HighCornerIsFasterAndLeakier) {
+  const Cell& nand = lib_.cell(lib_.find("NAND2_X1"));
+  ASSERT_FALSE(nand.arcs.empty());
+  const auto& arc = nand.arcs[0];
+  const double d_low = arc.corner[kVddLow].delay.lookup(0.02, 0.005);
+  const double d_high = arc.corner[kVddHigh].delay.lookup(0.02, 0.005);
+  EXPECT_LT(d_high, d_low);
+  EXPECT_NEAR(d_high / d_low, lib_.char_params().high_vdd_speed_ratio(), 1e-9);
+  EXPECT_GT(nand.leakage_mw[kVddHigh], nand.leakage_mw[kVddLow]);
+  EXPECT_GT(nand.internal_energy_pj[kVddHigh], nand.internal_energy_pj[kVddLow]);
+}
+
+TEST_F(LibraryTest, DelayMonotoneInLoadAndSlew) {
+  const Cell& inv = lib_.cell(lib_.find("INV_X1"));
+  const auto& t = inv.arcs[0].corner[kVddLow].delay;
+  double prev = -1.0;
+  for (double load : {0.0005, 0.002, 0.008, 0.02}) {
+    const double d = t.lookup(0.02, load);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(t.lookup(0.2, 0.005), t.lookup(0.01, 0.005));
+}
+
+TEST_F(LibraryTest, BiggerDriveIsStronger) {
+  const Cell& x1 = lib_.cell(lib_.find("INV_X1"));
+  const Cell& x4 = lib_.cell(lib_.find("INV_X4"));
+  // At heavy load the X4 wins despite larger intrinsic.
+  const double heavy = 0.03;
+  EXPECT_LT(x4.arcs[0].corner[kVddLow].delay.lookup(0.02, heavy),
+            x1.arcs[0].corner[kVddLow].delay.lookup(0.02, heavy));
+  EXPECT_GT(x4.area_um2, x1.area_um2);
+}
+
+TEST_F(LibraryTest, LevelShifterCosts) {
+  const Cell& ls = lib_.cell(lib_.find("LS_X1"));
+  const Cell& inv = lib_.cell(lib_.find("INV_X1"));
+  EXPECT_GT(ls.area_um2, 5.0 * inv.area_um2);  // Table 2's area pressure
+  EXPECT_GT(ls.leakage_mw[kVddLow], inv.leakage_mw[kVddLow]);
+  EXPECT_TRUE(ls.is_level_shifter());
+}
+
+TEST_F(LibraryTest, RazorFlopCostsMoreThanDff) {
+  const Cell& dff = lib_.cell(lib_.find("DFF_X1"));
+  const Cell& razor = lib_.cell(lib_.find("RAZOR_DFF_X1"));
+  EXPECT_GT(razor.area_um2, 1.5 * dff.area_um2);
+  EXPECT_GT(razor.leakage_mw[kVddLow], dff.leakage_mw[kVddLow]);
+  EXPECT_TRUE(razor.is_razor());
+  EXPECT_TRUE(razor.is_sequential());
+}
+
+TEST_F(LibraryTest, DuplicateCellRejected) {
+  Library lib("dup", CharParams{}, WireParams{}, SiteParams{});
+  Cell c;
+  c.name = "X";
+  c.area_um2 = 1.0;
+  c.pins.push_back({"A", true, false, 0.001});
+  c.pins.push_back({"Z", false, false, 0.0});
+  lib.add_cell(c);
+  EXPECT_THROW(lib.add_cell(c), std::invalid_argument);
+}
+
+TEST_F(LibraryTest, SitesDerivedFromArea) {
+  const auto& site = lib_.site();
+  for (const auto& cell : lib_.cells()) {
+    EXPECT_GE(cell.sites * site.site_width_um * site.row_height_um,
+              cell.area_um2 - 1e-9)
+        << cell.name;
+  }
+}
+
+}  // namespace
+}  // namespace vipvt

@@ -1,0 +1,179 @@
+// Netlist data-model tests: construction invariants, connectivity checks,
+// unit/area bookkeeping and the ECO edit used by level-shifter insertion.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/design.hpp"
+
+namespace vipvt {
+namespace {
+
+class DesignTest : public ::testing::Test {
+ protected:
+  Library lib_ = make_st65lp_like();
+};
+
+TEST_F(DesignTest, BuilderCreatesConnectedGates) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId x = b.input("x");
+  const NetId z = b.and2(a, x);
+  b.output(z);
+  d.check();
+
+  EXPECT_EQ(d.num_instances(), 1u);
+  const Net& net = d.net(z);
+  EXPECT_TRUE(net.has_cell_driver());
+  EXPECT_TRUE(net.is_primary_output);
+  EXPECT_EQ(d.net(a).sinks.size(), 1u);
+}
+
+TEST_F(DesignTest, DoubleDriverRejected) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId z = b.inv(a);
+  // Manually attempt to drive z again.
+  const CellId inv = lib_.cell_for(CellFunc::Inv);
+  EXPECT_THROW(
+      d.add_instance("bad", inv, PipeStage::Other, kUnitTop, {a, z}),
+      std::runtime_error);
+}
+
+TEST_F(DesignTest, PinCountMismatchRejected) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const CellId inv = lib_.cell_for(CellFunc::Inv);
+  EXPECT_THROW(d.add_instance("bad", inv, PipeStage::Other, kUnitTop, {a}),
+               std::invalid_argument);
+}
+
+TEST_F(DesignTest, ClockBookkeeping) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  EXPECT_THROW(b.dff(NetId{0}), std::logic_error);  // no clock yet
+  b.clock_input("clk");
+  const NetId a = b.input("a");
+  const NetId q = b.dff(a);
+  b.output(q);
+  d.check();
+  EXPECT_EQ(d.num_flops(), 1u);
+  EXPECT_NE(d.clock_net(), kInvalidNet);
+  EXPECT_THROW(b.clock_input("clk2"), std::runtime_error);
+}
+
+TEST_F(DesignTest, UnitTaggingAndAreas) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  NetId z;
+  {
+    NetlistBuilder::UnitScope u(b, "alu");
+    z = b.inv(a);
+    {
+      NetlistBuilder::UnitScope v(b, "sub");
+      z = b.inv(z);
+    }
+  }
+  b.output(z);
+  const UnitId alu = d.unit_id("alu");
+  const UnitId sub = d.unit_id("alu/sub");
+  EXPECT_GT(d.unit_area(alu), 0.0);
+  EXPECT_GT(d.unit_area(sub), 0.0);
+  EXPECT_NEAR(d.total_area(), d.unit_area(alu) + d.unit_area(sub), 1e-9);
+}
+
+TEST_F(DesignTest, StageTagging) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId a = b.input("a");
+  b.set_stage(PipeStage::Execute);
+  const NetId z = b.inv(a);
+  const NetId q = b.dff(z);
+  b.output(q);
+  EXPECT_EQ(d.instance(0).stage, PipeStage::Execute);
+  EXPECT_EQ(d.instance(1).stage, PipeStage::Execute);
+}
+
+TEST_F(DesignTest, MoveSinkEco) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId z1 = b.inv(a);   // inst 0
+  const NetId z2 = b.inv(a);   // inst 1
+  b.output(z1);
+  b.output(z2);
+  ASSERT_EQ(d.net(a).sinks.size(), 2u);
+
+  // Reroute inst 1's input through a fresh net (as LS insertion does).
+  const NetId mid = d.add_net("mid");
+  const CellId buf = lib_.cell_for(CellFunc::Buf);
+  d.add_instance("b0", buf, PipeStage::Other, kUnitTop, {a, mid});
+  d.move_sink(a, PinConn{1, 0}, mid);
+  d.check();
+  EXPECT_EQ(d.net(mid).sinks.size(), 1u);
+  EXPECT_EQ(d.instance(1).conns[0], mid);
+  EXPECT_THROW(d.move_sink(a, PinConn{1, 0}, mid), std::invalid_argument);
+}
+
+TEST_F(DesignTest, ConstantsMemoized) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  const NetId c0 = b.const0();
+  EXPECT_EQ(b.const0(), c0);
+  EXPECT_NE(b.const1(), c0);
+  EXPECT_EQ(d.num_instances(), 2u);  // one tie cell each
+}
+
+TEST_F(DesignTest, ReductionTreeShape) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  Bus bus = b.input_bus("in", 8);
+  b.output(b.reduce_and(bus));
+  // 8-input AND tree = 7 two-input gates.
+  EXPECT_EQ(d.num_instances(), 7u);
+  EXPECT_THROW(b.reduce_or(Bus{}), std::invalid_argument);
+}
+
+TEST_F(DesignTest, CheckCatchesClockPinOffClock) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId a = b.input("a");
+  const CellId dff = lib_.cell_for(CellFunc::Dff);
+  const NetId q = d.add_net("q");
+  // Wire CLK pin (pin 1) to a data net.
+  d.add_instance("ff", dff, PipeStage::Other, kUnitTop, {a, a, q});
+  EXPECT_THROW(d.check(), std::runtime_error);
+}
+
+TEST_F(DesignTest, BitwiseAndMuxBusesKeepWidth) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  Bus x = b.input_bus("x", 4);
+  Bus y = b.input_bus("y", 4);
+  const NetId s = b.input("s");
+  EXPECT_EQ(b.bitwise(CellFunc::Xor2, x, y).size(), 4u);
+  EXPECT_EQ(b.mux2_bus(x, y, s).size(), 4u);
+  Bus narrow = b.input_bus("n", 3);
+  EXPECT_THROW(b.bitwise(CellFunc::And2, x, narrow), std::invalid_argument);
+  EXPECT_THROW(b.mux2_bus(x, narrow, s), std::invalid_argument);
+}
+
+TEST_F(DesignTest, ConstBusEncodesValue) {
+  Design d("t", lib_);
+  NetlistBuilder b(d);
+  Bus v = b.const_bus(0b1010, 4);
+  // Bits 1 and 3 tie high.
+  EXPECT_EQ(v[0], b.const0());
+  EXPECT_EQ(v[1], b.const1());
+  EXPECT_EQ(v[2], b.const0());
+  EXPECT_EQ(v[3], b.const1());
+}
+
+}  // namespace
+}  // namespace vipvt

@@ -1,0 +1,238 @@
+// VEX core tests: structural invariants (stage/unit tagging, pipeline
+// registers, breakdown shape) and instruction-level functional tests run
+// through the gate-level simulator — add/forwarding/store semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "netlist/vex.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+
+namespace vipvt {
+namespace {
+
+class VexTb {
+ public:
+  explicit VexTb(const VexConfig& cfg)
+      : cfg_(cfg), design_("vex_tb", lib_) {
+    ports_ = build_vex_core(design_, cfg);
+    design_.check();
+    sim_ = std::make_unique<LogicSimulator>(design_);
+    stim_ = std::make_unique<FirStimulus>(design_, cfg);
+  }
+
+  Design& design() { return design_; }
+  LogicSimulator& sim() { return *sim_; }
+  const VexPorts& ports() const { return ports_; }
+
+  /// Issue one bundle (slot 0 = `w0`, rest NOPs) and advance a cycle.
+  void issue(std::uint32_t w0) {
+    const auto nop = stim_->encode(VexOp::Nop, 0, 0, 0, 0);
+    for (int s = 0; s < cfg_.slots; ++s) {
+      apply_syllable(s, s == 0 ? w0 : nop);
+    }
+    sim_->step();
+  }
+
+  std::uint32_t encode(VexOp op, int d, int s1, int s2, std::uint32_t imm) {
+    return stim_->encode(op, d, s1, s2, imm);
+  }
+
+  std::uint64_t read(const std::vector<NetId>& bus) const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+      v |= static_cast<std::uint64_t>(sim_->value(bus[i])) << i;
+    }
+    return v;
+  }
+
+ private:
+  void apply_syllable(int slot, std::uint32_t w) {
+    const auto layout = SyllableLayout::from(cfg_);
+    for (int i = 0; i < layout.syllable_bits; ++i) {
+      sim_->set_input(
+          sim_->input_by_name("instr[" +
+                              std::to_string(slot * layout.syllable_bits + i) +
+                              "]"),
+          (w >> i) & 1);
+    }
+  }
+
+  Library lib_ = make_st65lp_like();
+  VexConfig cfg_;
+  Design design_;
+  VexPorts ports_;
+  std::unique_ptr<LogicSimulator> sim_;
+  std::unique_ptr<FirStimulus> stim_;
+};
+
+TEST(VexStructure, TinyConfigBuildsAndChecks) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  EXPECT_GT(d.num_instances(), 1000u);
+  EXPECT_GT(d.num_flops(), 100u);
+}
+
+TEST(VexStructure, AllPipelineStagesPresent) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  std::array<std::size_t, kNumPipeStages> count{};
+  for (const auto& inst : d.instances()) {
+    ++count[static_cast<std::size_t>(inst.stage)];
+  }
+  EXPECT_GT(count[static_cast<std::size_t>(PipeStage::Fetch)], 0u);
+  EXPECT_GT(count[static_cast<std::size_t>(PipeStage::Decode)], 0u);
+  EXPECT_GT(count[static_cast<std::size_t>(PipeStage::Execute)], 0u);
+  EXPECT_GT(count[static_cast<std::size_t>(PipeStage::WriteBack)], 0u);
+}
+
+TEST(VexStructure, RegisterFileDominatesArea) {
+  // The paper's Table 1: the fully synthesized RF is the largest unit.
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig{});
+  double rf_area = 0.0;
+  const double total = d.total_area();
+  for (std::size_t u = 0; u < d.unit_names().size(); ++u) {
+    if (d.unit_names()[u].rfind("regfile", 0) == 0) {
+      rf_area += d.unit_area(static_cast<UnitId>(u));
+    }
+  }
+  EXPECT_GT(rf_area / total, 0.35);
+  EXPECT_LT(rf_area / total, 0.75);
+}
+
+TEST(VexStructure, SyllableLayoutPartitionsWord) {
+  const auto cfg = VexConfig{};
+  const auto l = SyllableLayout::from(cfg);
+  EXPECT_EQ(l.dest_lsb, cfg.opcode_bits);
+  EXPECT_EQ(l.imm_lsb + l.imm_bits, 32);
+  EXPECT_EQ(l.addr_bits, 6);  // 64 registers
+}
+
+TEST(VexFunctional, AddImmThenStoreObservesResult) {
+  VexTb tb(VexConfig::tiny());
+  // r1 = r0 + 5; r2 = r0 + 7; r3 = r1 + r2; store [r0+0] <- r3
+  tb.issue(tb.encode(VexOp::AddImm, 1, 0, 0, 5));
+  tb.issue(tb.encode(VexOp::AddImm, 2, 0, 0, 7));
+  tb.issue(tb.encode(VexOp::Add, 3, 1, 2, 0));
+  tb.issue(tb.encode(VexOp::Store, 0, 0, 3, 0));
+  // Drain the pipeline.
+  bool seen = false;
+  for (int k = 0; k < 6; ++k) {
+    tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+    if (tb.read({tb.ports().store_en[0]}) == 1) {
+      EXPECT_EQ(tb.read(tb.ports().store_data[0]), 12u);
+      seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(seen) << "store never committed";
+}
+
+TEST(VexFunctional, BackToBackForwarding) {
+  VexTb tb(VexConfig::tiny());
+  // Dependent chain with no bubbles: r1=3; r1=r1+4; r1=r1+8; store r1.
+  tb.issue(tb.encode(VexOp::AddImm, 1, 0, 0, 3));
+  tb.issue(tb.encode(VexOp::AddImm, 1, 1, 0, 4));
+  tb.issue(tb.encode(VexOp::AddImm, 1, 1, 0, 8));
+  tb.issue(tb.encode(VexOp::Store, 0, 0, 1, 0));
+  bool seen = false;
+  for (int k = 0; k < 6; ++k) {
+    tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+    if (tb.read({tb.ports().store_en[0]}) == 1) {
+      EXPECT_EQ(tb.read(tb.ports().store_data[0]), 15u);
+      seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(VexFunctional, XorAndShift) {
+  VexTb tb(VexConfig::tiny());
+  tb.issue(tb.encode(VexOp::AddImm, 1, 0, 0, 0b1100));
+  tb.issue(tb.encode(VexOp::AddImm, 2, 0, 0, 0b1010));
+  tb.issue(tb.encode(VexOp::Xor, 3, 1, 2, 0));       // 0b0110
+  tb.issue(tb.encode(VexOp::AddImm, 4, 0, 0, 1));    // shift amount
+  tb.issue(tb.encode(VexOp::Shl, 5, 3, 4, 0));       // 0b1100
+  tb.issue(tb.encode(VexOp::Store, 0, 0, 5, 0));
+  bool seen = false;
+  for (int k = 0; k < 8; ++k) {
+    tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+    if (tb.read({tb.ports().store_en[0]}) == 1) {
+      EXPECT_EQ(tb.read(tb.ports().store_data[0]), 0b1100u);
+      seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(VexFunctional, MulAndLoadPath) {
+  VexTb tb(VexConfig::tiny());
+  // Load r1 <- load_data0 (value 6); r2 = 7; r3 = r1 * r2; store r3.
+  for (int i = 0; i < 8; ++i) {
+    tb.sim().set_input(tb.sim().input_by_name("load_data0[" +
+                                              std::to_string(i) + "]"),
+                       (6 >> i) & 1);
+  }
+  tb.issue(tb.encode(VexOp::Load, 1, 0, 0, 0));
+  tb.issue(tb.encode(VexOp::AddImm, 2, 0, 0, 7));
+  tb.issue(tb.encode(VexOp::Mul, 3, 1, 2, 0));
+  tb.issue(tb.encode(VexOp::Store, 0, 0, 3, 0));
+  bool seen = false;
+  for (int k = 0; k < 8; ++k) {
+    tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+    if (tb.read({tb.ports().store_en[0]}) == 1) {
+      EXPECT_EQ(tb.read(tb.ports().store_data[0]), 42u);
+      seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(VexFunctional, PcAdvancesByFour) {
+  VexTb tb(VexConfig::tiny());
+  const std::uint64_t pc0 = tb.read(tb.ports().pc_out);
+  tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+  const std::uint64_t pc1 = tb.read(tb.ports().pc_out);
+  tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+  const std::uint64_t pc2 = tb.read(tb.ports().pc_out);
+  EXPECT_EQ((pc1 - pc0) & 0xffu, 4u);
+  EXPECT_EQ((pc2 - pc1) & 0xffu, 4u);
+}
+
+TEST(VexFunctional, BranchRedirectsPc) {
+  VexTb tb(VexConfig::tiny());
+  // r0 is 0 => branch condition (first operand zero) holds.
+  tb.issue(tb.encode(VexOp::Branch, 0, 0, 0, 64));
+  // Let the branch reach DC and redirect FE.
+  tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+  tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+  tb.issue(tb.encode(VexOp::Nop, 0, 0, 0, 0));
+  const std::uint64_t pc = tb.read(tb.ports().pc_out);
+  // Target = PC_at_DC + 64: well above the few sequential bumps.
+  EXPECT_GE(pc, 64u);
+}
+
+TEST(VexFunctional, FirStimulusRunsAndTogglesNets) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  LogicSimulator sim(d);
+  FirStimulus stim(d, VexConfig::tiny(), 7);
+  stim.run(sim, 60);
+  EXPECT_EQ(sim.cycles(), 60u);
+  std::size_t active_nets = 0;
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    if (sim.toggles()[n] > 0) ++active_nets;
+  }
+  // A healthy fraction of the netlist toggles under the FIR workload.
+  EXPECT_GT(active_nets, d.num_nets() / 10);
+}
+
+}  // namespace
+}  // namespace vipvt

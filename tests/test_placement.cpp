@@ -1,0 +1,172 @@
+// Placement tests: floorplan geometry, legality (no overlaps, on-site),
+// wirelength sanity (placed beats random), density map accounting, and
+// the incremental allocator used by level-shifter insertion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/vex.hpp"
+#include "placement/floorplan.hpp"
+#include "placement/placer.hpp"
+
+namespace vipvt {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest()
+      : design_(make_vex_design(lib_, VexConfig::tiny())),
+        fp_(Floorplan::for_design(design_, FloorplanConfig{})) {}
+
+  Library lib_ = make_st65lp_like();
+  Design design_;
+  Floorplan fp_;
+};
+
+TEST_F(PlacementTest, FloorplanSizedToUtilization) {
+  const double util = design_.total_area() / fp_.die().area();
+  EXPECT_NEAR(util, 0.70, 0.05);
+  EXPECT_GT(fp_.num_rows(), 4);
+  EXPECT_GT(fp_.sites_per_row(), 16);
+}
+
+TEST_F(PlacementTest, RowSiteLookupRoundTrips) {
+  EXPECT_EQ(fp_.row_at(fp_.row_y(3) + 0.1), 3);
+  EXPECT_EQ(fp_.site_at(fp_.site_x(17) + 0.01), 17);
+  // Clamped outside the die.
+  EXPECT_EQ(fp_.row_at(-100.0), 0);
+  EXPECT_EQ(fp_.row_at(1e9), fp_.num_rows() - 1);
+}
+
+TEST_F(PlacementTest, PlacesEveryInstanceLegally) {
+  PlacementDb db(fp_);
+  const PlaceResult res = place_design(design_, fp_, PlacerConfig{}, db);
+  EXPECT_GT(res.hpwl_um, 0.0);
+
+  std::set<std::pair<int, long>> used;
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    const Instance& inst = design_.instance(i);
+    ASSERT_TRUE(inst.placed);
+    EXPECT_TRUE(fp_.die().contains(inst.pos)) << inst.name;
+    // On a row boundary and a site boundary.
+    const int row = fp_.row_at(inst.pos.y);
+    const int site = fp_.site_at(inst.pos.x);
+    EXPECT_NEAR(fp_.row_y(row), inst.pos.y, 1e-6);
+    EXPECT_NEAR(fp_.site_x(site), inst.pos.x, 1e-6);
+    // No overlaps: every site span unique.
+    const int span = design_.cell_of(i).sites;
+    for (int s = 0; s < span; ++s) {
+      const bool fresh = used.insert({row, site + s}).second;
+      EXPECT_TRUE(fresh) << "overlap at row " << row << " site " << site + s;
+    }
+  }
+}
+
+TEST_F(PlacementTest, ConnectivityDrivenBeatsRandom) {
+  PlacementDb db(fp_);
+  PlacerConfig cfg;
+  place_design(design_, fp_, cfg, db);
+  const double placed_hpwl = total_hpwl(design_);
+
+  // Random-but-legal baseline: random initial positions, no pull.
+  Design rnd = make_vex_design(lib_, VexConfig::tiny());
+  Floorplan fp2 = Floorplan::for_design(rnd, FloorplanConfig{});
+  PlacementDb db2(fp2);
+  PlacerConfig rcfg;
+  rcfg.iterations = 0;
+  rcfg.random_init = true;
+  place_design(rnd, fp2, rcfg, db2);
+  const double random_hpwl = total_hpwl(rnd);
+
+  EXPECT_LT(placed_hpwl, 0.5 * random_hpwl);
+}
+
+TEST_F(PlacementTest, DeterministicForSeed) {
+  PlacementDb db1(fp_);
+  place_design(design_, fp_, PlacerConfig{}, db1);
+  std::vector<Point> first;
+  for (const auto& inst : design_.instances()) first.push_back(inst.pos);
+
+  Design again = make_vex_design(lib_, VexConfig::tiny());
+  Floorplan fp2 = Floorplan::for_design(again, FloorplanConfig{});
+  PlacementDb db2(fp2);
+  place_design(again, fp2, PlacerConfig{}, db2);
+  for (InstId i = 0; i < again.num_instances(); ++i) {
+    EXPECT_EQ(again.instance(i).pos, first[i]);
+  }
+}
+
+TEST_F(PlacementTest, StagesInterleaveAcrossFloorplan) {
+  // The methodology's premise: performance-driven placement interleaves
+  // pipeline stages, so slices cut across all stages.  Check that EX
+  // cells appear in most vertical quarters of the die.
+  PlacementDb db(fp_);
+  place_design(design_, fp_, PlacerConfig{}, db);
+  std::array<int, 4> quarters{};
+  for (const auto& inst : design_.instances()) {
+    if (inst.stage != PipeStage::Execute) continue;
+    const int q = std::min(
+        3, static_cast<int>((inst.pos.x - fp_.die().lo.x) / fp_.die().width() * 4));
+    ++quarters[static_cast<std::size_t>(q)];
+  }
+  int populated = 0;
+  for (int q : quarters) populated += (q > 0);
+  EXPECT_GE(populated, 3);
+}
+
+TEST_F(PlacementTest, DensityMapAccountsAllArea) {
+  PlacementDb db(fp_);
+  place_design(design_, fp_, PlacerConfig{}, db);
+  const auto map = density_map(design_, fp_, 8);
+  double sum = 0.0;
+  for (double v : map) sum += v;
+  EXPECT_NEAR(sum, design_.total_area(), 1e-6);
+}
+
+TEST_F(PlacementTest, HpwlOfKnownNet) {
+  // Two cells placed manually: HPWL equals the center-to-center bbox.
+  Design d("two", lib_);
+  const NetId a = d.add_primary_input("a");
+  const NetId mid = d.add_net("mid");
+  const NetId out = d.add_net("out");
+  const CellId inv = lib_.cell_for(CellFunc::Inv);
+  d.add_instance("u0", inv, PipeStage::Other, kUnitTop, {a, mid});
+  d.add_instance("u1", inv, PipeStage::Other, kUnitTop, {mid, out});
+  d.instance(0).pos = {0.0, 0.0};
+  d.instance(0).placed = true;
+  d.instance(1).pos = {10.0, 3.6};
+  d.instance(1).placed = true;
+  EXPECT_NEAR(net_hpwl(d, mid), 10.0 + 3.6, 1e-9);
+}
+
+TEST_F(PlacementTest, AllocatorFindsNearestFreeSpan) {
+  PlacementDb db(fp_);
+  // Fill row 2 except a gap at sites 10..12.
+  for (int s = 0; s < fp_.sites_per_row(); ++s) {
+    if (s >= 10 && s < 13) continue;
+    db.occupy(2, s, 1);
+  }
+  const Point target{fp_.site_x(11), fp_.row_y(2)};
+  const auto got = db.allocate_near(target, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NEAR(got->x, fp_.site_x(10), 1e-9);
+  EXPECT_NEAR(got->y, fp_.row_y(2), 1e-9);
+  // The span is now taken; next request lands elsewhere.
+  const auto next = db.allocate_near(target, 3);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(next->y, got->y);
+}
+
+TEST_F(PlacementTest, OccupancyGuards) {
+  PlacementDb db(fp_);
+  db.occupy(0, 0, 2);
+  EXPECT_THROW(db.occupy(0, 1, 1), std::logic_error);
+  db.release(0, 0, 2);
+  EXPECT_THROW(db.release(0, 0, 1), std::logic_error);
+  EXPECT_FALSE(db.is_free(-1, 0, 1));
+  EXPECT_FALSE(db.is_free(0, fp_.sites_per_row() - 1, 3));
+}
+
+}  // namespace
+}  // namespace vipvt

@@ -1,0 +1,276 @@
+// Parameterized property suites: invariants that must hold across whole
+// families of configurations, not just the defaults — datapath widths,
+// issue widths, floorplan utilizations, supply-corner assignments, and
+// variation strengths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "sim/stimulus.hpp"
+#include "timing/sta.hpp"
+#include "util/rng.hpp"
+#include "variation/mc_ssta.hpp"
+
+namespace vipvt {
+namespace {
+
+// ---------- arithmetic generators across widths -----------------------------
+
+class AdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidth, ClaMatchesReferenceAtAnyWidth) {
+  const int w = GetParam();
+  Library lib = make_st65lp_like();
+  Design d("w", lib);
+  NetlistBuilder b(d);
+  Bus a = b.input_bus("a", w), bb = b.input_bus("b", w);
+  const NetId cin = b.input("cin");
+  auto add = cla_adder(b, a, bb, cin);
+  Bus out = add.sum;
+  out.push_back(add.cout);
+  b.output(out);
+  d.check();
+  LogicSimulator sim(d);
+  Rng rng(w);
+  const std::uint64_t mask = w >= 64 ? ~0ull : ((1ull << w) - 1);
+  for (int k = 0; k < 200; ++k) {
+    const std::uint64_t x = rng.next() & mask;
+    const std::uint64_t y = rng.next() & mask;
+    const std::uint64_t c = rng.next() & 1;
+    for (int i = 0; i < w; ++i) {
+      sim.set_input(a[i], (x >> i) & 1);
+      sim.set_input(bb[i], (y >> i) & 1);
+    }
+    sim.set_input(cin, c);
+    sim.step();
+    std::uint64_t got = 0;
+    for (int i = 0; i < w; ++i) {
+      got |= static_cast<std::uint64_t>(sim.value(out[i])) << i;
+    }
+    const bool cout = sim.value(out[static_cast<std::size_t>(w)]);
+    const unsigned __int128 want =
+        static_cast<unsigned __int128>(x) + y + c;
+    EXPECT_EQ(got, static_cast<std::uint64_t>(want) & mask);
+    EXPECT_EQ(cout, ((want >> w) & 1) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 24,
+                                           32, 48));
+
+class MultWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultWidth, WallaceMatchesReference) {
+  const int w = GetParam();
+  Library lib = make_st65lp_like();
+  Design d("m", lib);
+  NetlistBuilder b(d);
+  Bus a = b.input_bus("a", w), bb = b.input_bus("b", w);
+  Bus out = multiplier(b, a, bb);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(2 * w));
+  b.output(out);
+  d.check();
+  LogicSimulator sim(d);
+  Rng rng(100 + w);
+  const std::uint64_t mask = (1ull << w) - 1;
+  for (int k = 0; k < 150; ++k) {
+    const std::uint64_t x = rng.next() & mask;
+    const std::uint64_t y = rng.next() & mask;
+    for (int i = 0; i < w; ++i) {
+      sim.set_input(a[i], (x >> i) & 1);
+      sim.set_input(bb[i], (y >> i) & 1);
+    }
+    sim.step();
+    std::uint64_t got = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      got |= static_cast<std::uint64_t>(sim.value(out[i])) << i;
+    }
+    EXPECT_EQ(got, x * y) << x << "*" << y << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultWidth,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 10, 12, 16));
+
+class ShifterWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShifterWidth, BarrelMatchesReferenceBothDirections) {
+  const int w = GetParam();
+  const int amt_bits = std::bit_width(static_cast<unsigned>(w)) - 1;
+  for (bool left : {false, true}) {
+    Library lib = make_st65lp_like();
+    Design d("s", lib);
+    NetlistBuilder b(d);
+    Bus a = b.input_bus("a", w);
+    Bus amt = b.input_bus("amt", amt_bits);
+    Bus out = barrel_shifter(b, a, amt, left);
+    b.output(out);
+    d.check();
+    LogicSimulator sim(d);
+    Rng rng(7 * w + left);
+    const std::uint64_t mask = (w >= 64) ? ~0ull : ((1ull << w) - 1);
+    for (int k = 0; k < 120; ++k) {
+      const std::uint64_t x = rng.next() & mask;
+      const std::uint64_t s = rng.below(1ull << amt_bits);
+      for (int i = 0; i < w; ++i) sim.set_input(a[i], (x >> i) & 1);
+      for (int i = 0; i < amt_bits; ++i) sim.set_input(amt[i], (s >> i) & 1);
+      sim.step();
+      std::uint64_t got = 0;
+      for (int i = 0; i < w; ++i) {
+        got |= static_cast<std::uint64_t>(sim.value(out[i])) << i;
+      }
+      const std::uint64_t want =
+          left ? (x << s) & mask : (x >> s);
+      EXPECT_EQ(got, want) << "w=" << w << " left=" << left;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShifterWidth,
+                         ::testing::Values(4, 8, 16, 32));
+
+// ---------- VEX configuration sweep -----------------------------------------
+
+struct VexParam {
+  int slots;
+  int width;
+  int regs;
+};
+
+class VexSweep : public ::testing::TestWithParam<VexParam> {};
+
+TEST_P(VexSweep, BuildsChecksAndSimulates) {
+  const VexParam p = GetParam();
+  VexConfig cfg;
+  cfg.slots = p.slots;
+  cfg.width = p.width;
+  cfg.num_regs = p.regs;
+  cfg.mult_width = std::min(8, p.width / 2);
+  cfg.opcode_bits = 4;
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, cfg);
+  EXPECT_GT(d.num_instances(), 100u);
+  LogicSimulator sim(d);
+  FirStimulus stim(d, cfg, 3);
+  stim.run(sim, 30);
+  EXPECT_EQ(sim.cycles(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, VexSweep,
+                         ::testing::Values(VexParam{1, 8, 8},
+                                           VexParam{2, 8, 8},
+                                           VexParam{2, 16, 16},
+                                           VexParam{3, 8, 16},
+                                           VexParam{4, 8, 8}));
+
+// ---------- placement utilization sweep ---------------------------------------
+
+class UtilSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilSweep, LegalAtEveryUtilization) {
+  const double util = GetParam();
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  FloorplanConfig fpc;
+  fpc.target_utilization = util;
+  Floorplan fp = Floorplan::for_design(d, fpc);
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  EXPECT_NEAR(db.utilization() * fp.num_rows() * fp.sites_per_row() * 0.36,
+              d.total_area(), d.total_area() * 0.2);
+  for (const auto& inst : d.instances()) {
+    ASSERT_TRUE(inst.placed);
+    EXPECT_TRUE(fp.die().contains(inst.pos));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, UtilSweep,
+                         ::testing::Values(0.4, 0.5, 0.6, 0.7, 0.8));
+
+// ---------- STA invariants across corner assignments ---------------------------
+
+class CornerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CornerSweep, BoostingAnyDomainNeverSlowsTheDesign) {
+  const int scheme = GetParam();
+  static Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  // Partition into 3 domains by x-thirds (scheme rotates which is which).
+  const Rect& die = fp.die();
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const double frac = (d.instance(i).pos.x - die.lo.x) / die.width();
+    const int third = std::min(2, static_cast<int>(frac * 3));
+    d.instance(i).domain = static_cast<DomainId>((third + scheme) % 3);
+  }
+  StaEngine sta(d, StaOptions{});
+  sta.compute_base_all_low();
+  const double base = sta.min_period();
+  for (int mask = 1; mask < 8; ++mask) {
+    std::vector<int> corners(3, kVddLow);
+    for (int k = 0; k < 3; ++k) {
+      if (mask & (1 << k)) corners[static_cast<std::size_t>(k)] = kVddHigh;
+    }
+    sta.compute_base(corners);
+    const double t = sta.min_period();
+    EXPECT_LE(t, base + 1e-9) << "mask " << mask;
+  }
+  // All-high is at least as fast as any partial boost.
+  sta.compute_base(std::vector<int>{kVddHigh, kVddHigh, kVddHigh});
+  const double all_high = sta.min_period();
+  EXPECT_LT(all_high, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, CornerSweep, ::testing::Values(0, 1, 2));
+
+// ---------- variation-strength monotonicity -----------------------------------
+
+class VariationStrength : public ::testing::TestWithParam<double> {};
+
+TEST_P(VariationStrength, StrongerRandomWidensStageSigma) {
+  const double frac = GetParam();
+  static Library lib = make_st65lp_like();
+  static std::unique_ptr<Design> d;
+  static std::unique_ptr<Floorplan> fp;
+  static std::unique_ptr<StaEngine> sta;
+  if (!d) {
+    d = std::make_unique<Design>(make_vex_design(lib, VexConfig::tiny()));
+    fp = std::make_unique<Floorplan>(
+        Floorplan::for_design(*d, FloorplanConfig{}));
+    PlacementDb db(*fp);
+    place_design(*d, *fp, PlacerConfig{}, db);
+    sta = std::make_unique<StaEngine>(*d, StaOptions{});
+    sta->set_clock_period(sta->min_period() * 1.04);
+  }
+  CharParams cp = lib.char_params();
+  ExposureField field = ExposureField::scaled_65nm(cp);
+  VariationConfig weak_cfg, strong_cfg;
+  weak_cfg.three_sigma_random_frac = frac;
+  strong_cfg.three_sigma_random_frac = frac * 2.0;
+  VariationModel weak(cp, field, weak_cfg);
+  VariationModel strong(cp, field, strong_cfg);
+  McConfig mcc;
+  mcc.samples = 120;
+  MonteCarloSsta mw(*d, *sta, weak), ms(*d, *sta, strong);
+  const McResult rw = mw.run(DieLocation::point('B'), mcc);
+  const McResult rs = ms.run(DieLocation::point('B'), mcc);
+  EXPECT_GT(rs.stage(PipeStage::Execute).fit.stddev,
+            rw.stage(PipeStage::Execute).fit.stddev);
+  // Mean slack also degrades (max statistics shift with sigma).
+  EXPECT_LT(rs.stage(PipeStage::Execute).fit.mean,
+            rw.stage(PipeStage::Execute).fit.mean + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, VariationStrength,
+                         ::testing::Values(0.02, 0.04, 0.065));
+
+}  // namespace
+}  // namespace vipvt

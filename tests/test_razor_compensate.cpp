@@ -1,0 +1,234 @@
+// Razor sensor planning + post-silicon compensation tests: sensor
+// coverage, cell-swap bookkeeping, scenario detection on virtual silicon,
+// island raising, escalation, and the chip-wide baseline sanity.
+
+#include <gtest/gtest.h>
+
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "timing/recovery.hpp"
+#include "vi/compensate.hpp"
+#include "vi/islands.hpp"
+#include "vi/razor.hpp"
+#include "vi/scenario.hpp"
+
+namespace vipvt {
+namespace {
+
+class CompensateFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new Library(make_st65lp_like());
+    design_ = new Design(make_vex_design(*lib_, VexConfig::tiny()));
+    fp_ = new Floorplan(Floorplan::for_design(*design_, FloorplanConfig{}));
+    db_ = new PlacementDb(*fp_);
+    place_design(*design_, *fp_, PlacerConfig{}, *db_);
+    sta_ = new StaEngine(*design_, StaOptions{});
+    sta_->set_clock_period(sta_->min_period() * 1.04);
+    recover_power(*design_, *sta_, RecoveryConfig{});
+    field_ = new ExposureField(ExposureField::scaled_65nm(lib_->char_params()));
+    model_ = new VariationModel(lib_->char_params(), *field_);
+
+    ScenarioConfig sc;
+    sc.sweep_points = 6;
+    sc.mc.samples = 100;
+    auto scen = characterize_scenarios(*design_, *sta_, *model_, sc);
+    std::vector<DieLocation> locs;
+    std::optional<DieLocation> fb;
+    for (std::size_t k = scen.by_severity.size(); k-- > 0;) {
+      if (scen.by_severity[k].has_value()) fb = scen.by_severity[k]->location;
+    }
+    for (const auto& sp : scen.by_severity) {
+      if (sp.has_value()) {
+        locs.push_back(sp->location);
+        fb = sp->location;
+      } else if (fb.has_value()) {
+        locs.push_back(*fb);
+      }
+    }
+    worst_loc_ = locs.empty() ? DieLocation::point('A') : locs.back();
+
+    IslandConfig icfg;
+    icfg.dir = SliceDir::Vertical;
+    icfg.mc_samples = 80;
+    IslandGenerator gen(*design_, *fp_, *sta_, *model_, icfg);
+    plan_ = new IslandPlan(gen.generate(locs));
+
+    MonteCarloSsta mc(*design_, *sta_, *model_);
+    McConfig mcc;
+    mcc.samples = 150;
+    worst_mc_ = new McResult(mc.run(worst_loc_, mcc));
+    razor_ = new RazorPlan(plan_razor_sensors(*sta_, *worst_mc_));
+    apply_razor_plan(*design_, *sta_, *razor_);
+    // Cell swap preserves graph topology: refresh base delays.
+    sta_->compute_base_all_low();
+  }
+
+  static void TearDownTestSuite() {
+    delete razor_;
+    delete worst_mc_;
+    delete plan_;
+    delete model_;
+    delete field_;
+    delete sta_;
+    delete db_;
+    delete fp_;
+    delete design_;
+    delete lib_;
+  }
+
+  static Library* lib_;
+  static Design* design_;
+  static Floorplan* fp_;
+  static PlacementDb* db_;
+  static StaEngine* sta_;
+  static ExposureField* field_;
+  static VariationModel* model_;
+  static IslandPlan* plan_;
+  static McResult* worst_mc_;
+  static RazorPlan* razor_;
+  static DieLocation worst_loc_;
+};
+
+Library* CompensateFixture::lib_ = nullptr;
+Design* CompensateFixture::design_ = nullptr;
+Floorplan* CompensateFixture::fp_ = nullptr;
+PlacementDb* CompensateFixture::db_ = nullptr;
+StaEngine* CompensateFixture::sta_ = nullptr;
+ExposureField* CompensateFixture::field_ = nullptr;
+VariationModel* CompensateFixture::model_ = nullptr;
+IslandPlan* CompensateFixture::plan_ = nullptr;
+McResult* CompensateFixture::worst_mc_ = nullptr;
+RazorPlan* CompensateFixture::razor_ = nullptr;
+DieLocation CompensateFixture::worst_loc_;
+
+TEST_F(CompensateFixture, SensorsAreSparse) {
+  // The headline saving of §4.4: only endpoints that can become critical
+  // get a Razor flop — a small fraction of all flops.
+  const std::size_t flops = design_->num_flops();
+  EXPECT_GT(razor_->total(), 0u);
+  EXPECT_LT(razor_->total(), flops / 2) << "sensor plan not selective";
+  // EX has sensors (the paper's 12-path example).
+  EXPECT_GT(razor_->per_stage[static_cast<std::size_t>(PipeStage::Execute)],
+            0u);
+}
+
+TEST_F(CompensateFixture, RazorCellsApplied) {
+  std::size_t razor_cells = 0;
+  for (InstId i = 0; i < design_->num_instances(); ++i) {
+    if (design_->cell_of(i).is_razor()) ++razor_cells;
+  }
+  EXPECT_EQ(razor_cells, razor_->total());
+}
+
+TEST_F(CompensateFixture, WorstChipDetectedAndCompensated) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  Rng rng(777);
+  int compensated = 0, violating = 0;
+  const int kChips = 12;
+  for (int c = 0; c < kChips; ++c) {
+    const VirtualChip chip =
+        fabricate_chip(*design_, *model_, worst_loc_, rng);
+    const CompensationOutcome out = ctrl.compensate(chip);
+    if (out.wns_before < 0.0) {
+      // Ground-truth violation: sensors must have seen it.
+      ++violating;
+      EXPECT_GT(out.detected_severity, 0) << "chip " << c;
+    }
+    if (out.timing_met) ++compensated;
+    EXPECT_FALSE(out.missed_violation) << "chip " << c;
+  }
+  // At the worst location some chips genuinely violate, every violation
+  // is detected, and all chips end up timing-clean after compensation.
+  EXPECT_GT(violating, 0);
+  EXPECT_EQ(compensated, kChips);
+}
+
+TEST_F(CompensateFixture, GoodChipNeedsNoIslands) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  Rng rng(31);
+  DieLocation best = DieLocation::point('D');
+  int zero_island_chips = 0;
+  for (int c = 0; c < 8; ++c) {
+    const VirtualChip chip = fabricate_chip(*design_, *model_, best, rng);
+    const CompensationOutcome out = ctrl.compensate(chip);
+    if (out.islands_raised == 0) ++zero_island_chips;
+    EXPECT_TRUE(out.timing_met);
+  }
+  EXPECT_GE(zero_island_chips, 6);
+}
+
+TEST_F(CompensateFixture, SeverityMonotoneInLocation) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  Rng rng(99);
+  double avg_a = 0.0, avg_d = 0.0;
+  for (int c = 0; c < 6; ++c) {
+    avg_a += ctrl.compensate(
+                   fabricate_chip(*design_, *model_, worst_loc_, rng))
+                 .islands_raised;
+    avg_d += ctrl.compensate(fabricate_chip(*design_, *model_,
+                                            DieLocation::point('D'), rng))
+                 .islands_raised;
+  }
+  EXPECT_GT(avg_a, avg_d);
+}
+
+TEST_F(CompensateFixture, EscalationIsRare) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  Rng rng(5150);
+  int escalated = 0;
+  for (int c = 0; c < 10; ++c) {
+    const VirtualChip chip =
+        fabricate_chip(*design_, *model_, worst_loc_, rng);
+    escalated += ctrl.compensate(chip).escalated;
+  }
+  // Islands are sized against the 3-sigma scenario; individual chips in
+  // the far tail may need one extra island, but not routinely.
+  EXPECT_LE(escalated, 6);
+}
+
+TEST_F(CompensateFixture, ChipSizeMismatchRejected) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  VirtualChip bad;
+  bad.lgate_nm.assign(3, 65.0);
+  EXPECT_THROW(ctrl.compensate(bad), std::invalid_argument);
+}
+
+TEST(RazorUnit, ThresholdFiltersSensors) {
+  // A fake MC result with known probabilities.
+  Library lib = make_st65lp_like();
+  Design d("razor_unit", lib);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId a = b.input("a");
+  b.set_stage(PipeStage::Execute);
+  const NetId q1 = b.dff(a);
+  b.set_stage(PipeStage::Decode);
+  const NetId q2 = b.dff(q1);
+  b.output(q2);
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    d.instance(i).pos = {1.0, 1.0};
+    d.instance(i).placed = true;
+  }
+  StaEngine sta(d, StaOptions{});
+  McResult fake;
+  fake.endpoint_crit_prob.assign(sta.endpoints().size(), 0.0);
+  // Give only the first flop endpoint a violation probability.
+  for (std::size_t k = 0; k < sta.endpoints().size(); ++k) {
+    if (sta.endpoints()[k].flop != kInvalidInst) {
+      fake.endpoint_crit_prob[k] = 0.4;
+      break;
+    }
+  }
+  RazorConfig cfg;
+  cfg.crit_prob_threshold = 0.5;
+  EXPECT_EQ(plan_razor_sensors(sta, fake, cfg).total(), 0u);
+  cfg.crit_prob_threshold = 0.3;
+  EXPECT_EQ(plan_razor_sensors(sta, fake, cfg).total(), 1u);
+  const double added =
+      apply_razor_plan(d, sta, plan_razor_sensors(sta, fake, cfg));
+  EXPECT_GT(added, 0.0);
+}
+
+}  // namespace
+}  // namespace vipvt

@@ -1,0 +1,199 @@
+// Level-shifter insertion tests: completeness (every low->high crossing
+// shifted), direction rule (high->low needs none), functional
+// transparency, incremental-placement legality and overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/builder.hpp"
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "sim/stimulus.hpp"
+#include "timing/sta.hpp"
+#include "vi/shifters.hpp"
+
+namespace vipvt {
+namespace {
+
+/// A 3-island plan over a manually domain-tagged design.
+IslandPlan three_island_plan() {
+  IslandPlan plan;
+  plan.dir = SliceDir::Vertical;
+  plan.cuts = {10.0, 20.0, 30.0};
+  plan.cell_count = {0, 0, 0};
+  plan.feasible = {true, true, true};
+  return plan;
+}
+
+class ShifterFixture : public ::testing::Test {
+ protected:
+  ShifterFixture() : design_(make_vex_design(lib_, VexConfig::tiny())) {
+    // The artificial thirds partition below produces far more crossings
+    // per cell than a real slice plan; give the tiny die extra
+    // whitespace so every shifter can be placed.
+    FloorplanConfig fpc;
+    fpc.target_utilization = 0.50;
+    fp_ = std::make_unique<Floorplan>(Floorplan::for_design(design_, fpc));
+    db_ = std::make_unique<PlacementDb>(*fp_);
+    place_design(design_, *fp_, PlacerConfig{}, *db_);
+    // Vertical thirds: left third = island 1, middle = island 2.
+    const Rect& die = fp_->die();
+    for (InstId i = 0; i < design_.num_instances(); ++i) {
+      const double frac =
+          (design_.instance(i).pos.x - die.lo.x) / die.width();
+      design_.instance(i).domain =
+          frac < 0.33 ? 1 : (frac < 0.66 ? 2 : kDomainBase);
+    }
+  }
+
+  Library lib_ = make_st65lp_like();
+  Design design_;
+  std::unique_ptr<Floorplan> fp_;
+  std::unique_ptr<PlacementDb> db_;
+};
+
+TEST_F(ShifterFixture, EveryUpCrossingShifted) {
+  const IslandPlan plan = three_island_plan();
+  const ShifterReport rep = insert_level_shifters(design_, *db_, plan);
+  EXPECT_GT(rep.inserted, 0u);
+  design_.check();
+
+  // Post-condition: no net crosses from a lower-rank driver domain to a
+  // higher-rank sink domain without a level shifter in between.
+  for (NetId n = 0; n < design_.num_nets(); ++n) {
+    const Net& net = design_.net(n);
+    if (net.is_clock) continue;  // ideal clock: handled by the clock tree
+    const int drv_rank =
+        net.has_cell_driver()
+            ? plan.domain_rank(design_.instance(net.driver.inst).domain)
+            : 0;
+    const bool drv_is_ls =
+        net.has_cell_driver() &&
+        design_.cell_of(net.driver.inst).is_level_shifter();
+    for (const auto& sink : net.sinks) {
+      // Level shifters themselves legitimately sit on the low side of a
+      // crossing (their input is the low-domain net).
+      if (design_.cell_of(sink.inst).is_level_shifter()) continue;
+      const int sink_rank =
+          plan.domain_rank(design_.instance(sink.inst).domain);
+      if (sink_rank > drv_rank) {
+        EXPECT_TRUE(drv_is_ls)
+            << "unshifted crossing on net " << net.name;
+      }
+    }
+  }
+}
+
+TEST_F(ShifterFixture, ShiftersAreWellFormed) {
+  const IslandPlan plan = three_island_plan();
+  const ShifterReport rep = insert_level_shifters(design_, *db_, plan);
+  std::size_t found = 0;
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    const Cell& cell = design_.cell_of(i);
+    if (!cell.is_level_shifter()) continue;
+    ++found;
+    const Instance& inst = design_.instance(i);
+    EXPECT_TRUE(inst.placed);
+    EXPECT_TRUE(fp_->die().contains(inst.pos));
+    // Powered by the receiving (higher-rank) domain.
+    const Net& out = design_.net(inst.conns[1]);
+    for (const auto& sink : out.sinks) {
+      EXPECT_EQ(design_.instance(sink.inst).domain, inst.domain);
+    }
+  }
+  EXPECT_EQ(found, rep.inserted);
+  double ls_area = 0.0;
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    if (design_.cell_of(i).is_level_shifter()) {
+      ls_area += design_.cell_of(i).area_um2;
+    }
+  }
+  EXPECT_NEAR(rep.area_um2, ls_area, 1e-6);
+  EXPECT_GT(rep.area_fraction, 0.0);
+}
+
+TEST_F(ShifterFixture, NoDownCrossingShifters) {
+  // Make the whole design one island except a high-rank stripe; nets
+  // from island 1 (high rank) into base must NOT get shifters.
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    design_.instance(i).domain = kDomainBase;
+  }
+  // Tag EX cells as island 1 (raised first).
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    if (design_.instance(i).stage == PipeStage::Execute) {
+      design_.instance(i).domain = 1;
+    }
+  }
+  IslandPlan plan;
+  plan.dir = SliceDir::Vertical;
+  plan.cuts = {5.0};
+  plan.cell_count = {0};
+  plan.feasible = {true};
+  const ShifterReport rep = insert_level_shifters(design_, *db_, plan);
+  // Every inserted shifter feeds island-1 sinks only.
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    if (!design_.cell_of(i).is_level_shifter()) continue;
+    EXPECT_EQ(design_.instance(i).domain, 1);
+  }
+  EXPECT_GT(rep.inserted, 0u);
+}
+
+TEST_F(ShifterFixture, FunctionPreservedAfterInsertion) {
+  // Same FIR run before and after insertion must produce identical flop
+  // states: shifters are logic buffers.
+  LogicSimulator before(design_);
+  FirStimulus stim_b(design_, VexConfig::tiny(), 11);
+  stim_b.run(before, 60);
+  std::vector<bool> flop_values;
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    const Cell& c = design_.cell_of(i);
+    if (c.is_sequential()) {
+      flop_values.push_back(before.value(design_.instance(i).conns[2]));
+    }
+  }
+
+  const IslandPlan plan = three_island_plan();
+  insert_level_shifters(design_, *db_, plan);
+  design_.check();
+  LogicSimulator after(design_);
+  FirStimulus stim_a(design_, VexConfig::tiny(), 11);
+  stim_a.run(after, 60);
+  std::size_t k = 0;
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    const Cell& c = design_.cell_of(i);
+    if (!c.is_sequential()) continue;
+    ASSERT_LT(k, flop_values.size());
+    EXPECT_EQ(after.value(design_.instance(i).conns[2]), flop_values[k])
+        << design_.instance(i).name;
+    ++k;
+  }
+}
+
+TEST_F(ShifterFixture, InsertionDegradesTiming) {
+  StaEngine before(design_, StaOptions{});
+  const double t_before = before.min_period();
+  const IslandPlan plan = three_island_plan();
+  insert_level_shifters(design_, *db_, plan);
+  StaEngine after(design_, StaOptions{});
+  const double t_after = after.min_period();
+  // Level shifters on crossing paths cost delay (the paper's 8-15 %).
+  EXPECT_GT(t_after, t_before);
+  EXPECT_LT(t_after, 1.5 * t_before);
+}
+
+TEST_F(ShifterFixture, UniformDomainNeedsNoShifters) {
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    design_.instance(i).domain = kDomainBase;
+  }
+  IslandPlan plan;
+  plan.cuts = {1.0};
+  plan.cell_count = {0};
+  plan.feasible = {true};
+  const ShifterReport rep = insert_level_shifters(design_, *db_, plan);
+  EXPECT_EQ(rep.inserted, 0u);
+  EXPECT_EQ(rep.crossing_nets, 0u);
+}
+
+}  // namespace
+}  // namespace vipvt

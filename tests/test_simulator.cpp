@@ -1,0 +1,212 @@
+// Logic-simulator tests: gate truth tables, flop semantics, toggle
+// accounting, reset behaviour and the stimulus generators.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "netlist/builder.hpp"
+#include "netlist/vex.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+
+namespace vipvt {
+namespace {
+
+class SimTest : public ::testing::Test {
+ protected:
+  Library lib_ = make_st65lp_like();
+};
+
+TEST_F(SimTest, TruthTablesAllFunctions) {
+  Design d("truth", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId x = b.input("x");
+  const NetId c = b.input("c");
+  const NetId e = b.input("e");
+  struct Case {
+    NetId net;
+    // expected output for each input pattern (a, x, c, e) packed as bits
+    std::function<bool(bool, bool, bool, bool)> ref;
+  };
+  std::vector<Case> cases;
+  cases.push_back({b.inv(a), [](bool A, bool, bool, bool) { return !A; }});
+  cases.push_back({b.buf(a), [](bool A, bool, bool, bool) { return A; }});
+  cases.push_back({b.nand2(a, x), [](bool A, bool X, bool, bool) { return !(A && X); }});
+  cases.push_back({b.nor2(a, x), [](bool A, bool X, bool, bool) { return !(A || X); }});
+  cases.push_back({b.and2(a, x), [](bool A, bool X, bool, bool) { return A && X; }});
+  cases.push_back({b.or2(a, x), [](bool A, bool X, bool, bool) { return A || X; }});
+  cases.push_back({b.xor2(a, x), [](bool A, bool X, bool, bool) { return A != X; }});
+  cases.push_back({b.xnor2(a, x), [](bool A, bool X, bool, bool) { return A == X; }});
+  cases.push_back({b.mux2(a, x, c), [](bool A, bool X, bool C, bool) { return C ? X : A; }});
+  cases.push_back({b.maj3(a, x, c), [](bool A, bool X, bool C, bool) {
+                     return (A && X) || (A && C) || (X && C);
+                   }});
+  cases.push_back({b.gate(CellFunc::Nand3, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return !(A && X && C); }});
+  cases.push_back({b.gate(CellFunc::Nor3, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return !(A || X || C); }});
+  cases.push_back({b.gate(CellFunc::And3, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return A && X && C; }});
+  cases.push_back({b.gate(CellFunc::Or3, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return A || X || C; }});
+  cases.push_back({b.gate(CellFunc::Nand4, {a, x, c, e}),
+                   [](bool A, bool X, bool C, bool E) { return !(A && X && C && E); }});
+  cases.push_back({b.gate(CellFunc::Aoi21, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return !((A && X) || C); }});
+  cases.push_back({b.gate(CellFunc::Oai21, {a, x, c}),
+                   [](bool A, bool X, bool C, bool) { return !((A || X) && C); }});
+  cases.push_back({b.gate(CellFunc::Aoi22, {a, x, c, e}),
+                   [](bool A, bool X, bool C, bool E) {
+                     return !((A && X) || (C && E));
+                   }});
+  const NetId t0 = b.const0();
+  const NetId t1 = b.const1();
+  for (auto& cs : cases) b.output(cs.net);
+  d.check();
+
+  LogicSimulator sim(d);
+  for (int pat = 0; pat < 16; ++pat) {
+    const bool A = pat & 1, X = pat & 2, C = pat & 4, E = pat & 8;
+    sim.set_input(a, A);
+    sim.set_input(x, X);
+    sim.set_input(c, C);
+    sim.set_input(e, E);
+    sim.step();
+    for (std::size_t k = 0; k < cases.size(); ++k) {
+      EXPECT_EQ(sim.value(cases[k].net), cases[k].ref(A, X, C, E))
+          << "case " << k << " pattern " << pat;
+    }
+    EXPECT_FALSE(sim.value(t0));
+    EXPECT_TRUE(sim.value(t1));
+  }
+}
+
+TEST_F(SimTest, FlopCapturesOnEdgeOnly) {
+  Design d("ff", lib_);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId din = b.input("d");
+  const NetId q = b.dff(din);
+  b.output(q);
+  d.check();
+  LogicSimulator sim(d);
+  EXPECT_FALSE(sim.value(q));
+  sim.set_input(din, true);
+  EXPECT_FALSE(sim.value(q));  // not yet clocked
+  sim.step();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(din, false);
+  sim.step();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST_F(SimTest, ShiftRegisterDelaysByOnePerStage) {
+  Design d("sr", lib_);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId din = b.input("d");
+  const NetId q1 = b.dff(din);
+  const NetId q2 = b.dff(q1);
+  const NetId q3 = b.dff(q2);
+  b.output(q3);
+  d.check();
+  LogicSimulator sim(d);
+  sim.set_input(din, true);
+  sim.step();  // q1=1
+  sim.set_input(din, false);
+  sim.step();  // q1=0 q2=1
+  sim.step();  // q3=1
+  EXPECT_TRUE(sim.value(q3));
+  sim.step();
+  EXPECT_FALSE(sim.value(q3));
+}
+
+TEST_F(SimTest, ToggleCounting) {
+  Design d("tgl", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId z = b.inv(a);
+  b.output(z);
+  d.check();
+  LogicSimulator sim(d);
+  for (int i = 0; i < 10; ++i) {
+    sim.set_input(a, i % 2 == 0);
+    sim.step();
+  }
+  EXPECT_EQ(sim.cycles(), 10u);
+  EXPECT_EQ(sim.toggles()[a], 10u);  // toggles every cycle (starts at 0->1)
+  EXPECT_EQ(sim.toggles()[z], 10u);
+  EXPECT_DOUBLE_EQ(sim.toggle_rate(a), 1.0);
+}
+
+TEST_F(SimTest, ResetClearsStateAndStats) {
+  Design d("rst", lib_);
+  NetlistBuilder b(d);
+  b.clock_input("clk");
+  const NetId a = b.input("a");
+  const NetId q = b.dff(a);
+  b.output(q);
+  LogicSimulator sim(d);
+  sim.set_input(a, true);
+  sim.step();
+  EXPECT_TRUE(sim.value(q));
+  sim.reset();
+  EXPECT_FALSE(sim.value(q));
+  EXPECT_EQ(sim.cycles(), 0u);
+  EXPECT_EQ(sim.toggles()[q], 0u);
+}
+
+TEST_F(SimTest, SetInputRejectsInternalNets) {
+  Design d("guard", lib_);
+  NetlistBuilder b(d);
+  const NetId a = b.input("a");
+  const NetId z = b.inv(a);
+  b.output(z);
+  LogicSimulator sim(d);
+  EXPECT_THROW(sim.set_input(z, true), std::invalid_argument);
+  EXPECT_THROW(sim.input_by_name("nope"), std::out_of_range);
+}
+
+TEST_F(SimTest, RandomStimulusTogglesDesign) {
+  Design d = make_vex_design(lib_, VexConfig::tiny());
+  LogicSimulator sim(d);
+  RandomStimulus stim(d, 5);
+  stim.run(sim, 50);
+  EXPECT_EQ(sim.cycles(), 50u);
+  std::uint64_t total = 0;
+  for (auto t : sim.toggles()) total += t;
+  EXPECT_GT(total, 1000u);
+}
+
+TEST_F(SimTest, FirStimulusIsDeterministic) {
+  Design d = make_vex_design(lib_, VexConfig::tiny());
+  LogicSimulator s1(d), s2(d);
+  FirStimulus f1(d, VexConfig::tiny(), 42), f2(d, VexConfig::tiny(), 42);
+  f1.run(s1, 40);
+  f2.run(s2, 40);
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    ASSERT_EQ(s1.toggles()[n], s2.toggles()[n]) << "net " << n;
+  }
+}
+
+TEST_F(SimTest, FirActivityLowerThanRandom) {
+  // Correlated FIR operands toggle high-order bits far less than white
+  // noise: the sanity property that makes the workload "realistic".
+  Design d = make_vex_design(lib_, VexConfig::tiny());
+  LogicSimulator fir_sim(d), rnd_sim(d);
+  FirStimulus fir(d, VexConfig::tiny(), 9);
+  RandomStimulus rnd(d, 9);
+  fir.run(fir_sim, 200);
+  rnd.run(rnd_sim, 200);
+  std::uint64_t fir_total = 0, rnd_total = 0;
+  for (NetId n = 0; n < d.num_nets(); ++n) {
+    fir_total += fir_sim.toggles()[n];
+    rnd_total += rnd_sim.toggles()[n];
+  }
+  EXPECT_LT(fir_total, rnd_total);
+}
+
+}  // namespace
+}  // namespace vipvt

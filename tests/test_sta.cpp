@@ -1,0 +1,224 @@
+// STA engine tests: graph construction, arrival propagation, slack and
+// per-stage grouping, annotated-factor scaling semantics, corner effects,
+// and critical-path tracing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/builder.hpp"
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "timing/sta.hpp"
+
+namespace vipvt {
+namespace {
+
+/// PI -> INV -> INV -> DFF chain, all cells co-located (zero wire delay).
+class ChainFixture : public ::testing::Test {
+ protected:
+  ChainFixture() : design_("chain", lib_) {
+    NetlistBuilder b(design_);
+    b.clock_input("clk");
+    const NetId a = b.input("a");
+    b.set_stage(PipeStage::Execute);
+    const NetId x = b.inv(a);
+    const NetId y = b.inv(x);
+    const NetId q = b.dff(y);
+    b.set_stage(PipeStage::Decode);
+    const NetId z = b.inv(q);
+    const NetId q2 = b.dff(z);
+    b.output(q2);
+    design_.check();
+    for (InstId i = 0; i < design_.num_instances(); ++i) {
+      design_.instance(i).pos = {10.0, 10.0};
+      design_.instance(i).placed = true;
+    }
+  }
+
+  Library lib_ = make_st65lp_like();
+  Design design_;
+  StaOptions opts_{};
+};
+
+TEST_F(ChainFixture, EndpointInventory) {
+  StaEngine sta(design_, opts_);
+  // 2 flop D endpoints + 1 primary output endpoint.
+  EXPECT_EQ(sta.endpoints().size(), 3u);
+  int flop_eps = 0;
+  for (const auto& ep : sta.endpoints()) flop_eps += (ep.flop != kInvalidInst);
+  EXPECT_EQ(flop_eps, 2);
+}
+
+TEST_F(ChainFixture, ArrivalMatchesManualLookup) {
+  StaEngine sta(design_, opts_);
+  const StaResult res = sta.analyze();
+
+  // Manual recomputation for the PI -> INV -> INV -> DFF.D endpoint,
+  // including the Elmore wire terms from the (tiny) center-to-center
+  // bounding boxes.
+  const Cell& inv = lib_.cell(lib_.find("INV_X1"));
+  const Cell& dff = lib_.cell(lib_.find("DFF_X1"));
+  const WireParams& wp = lib_.wire();
+  const auto& arc = inv.arcs[0].corner[kVddLow];
+  // Nets: a -> inv1 (net 'x' drives inv2), inv2 (net 'y' drives DFF.D).
+  const NetId net_x = design_.instance(1).conns[0];
+  const NetId net_y = design_.instance(2).conns[0];
+  const double lx = net_hpwl(design_, net_x);
+  const double ly = net_hpwl(design_, net_y);
+  const double s0 = opts_.default_input_slew_ns;
+  const double load1 = inv.pins[0].cap_pf + wp.capacitance(lx);
+  const double d1 = arc.delay.lookup(s0, load1);
+  const double w1 = wp.resistance(lx) *
+                    (0.5 * wp.capacitance(lx) + inv.pins[0].cap_pf);
+  const double s1 = arc.out_slew.lookup(s0, load1) + 2.0 * w1;
+  const double load2 = dff.pins[0].cap_pf + wp.capacitance(ly);
+  const double d2 = arc.delay.lookup(s1, load2);
+  const double w2 = wp.resistance(ly) *
+                    (0.5 * wp.capacitance(ly) + dff.pins[0].cap_pf);
+  const double expected_arrival = d1 + w1 + d2 + w2;
+
+  // Locate the EX-stage flop endpoint.
+  double slack = 1e9;
+  for (std::size_t k = 0; k < sta.endpoints().size(); ++k) {
+    if (sta.endpoints()[k].flop != kInvalidInst &&
+        sta.endpoints()[k].stage == PipeStage::Execute) {
+      slack = res.endpoint_slack[k];
+    }
+  }
+  const double expected_slack =
+      opts_.clock_period_ns - dff.setup_ns - expected_arrival;
+  // Edge delays are stored as float inside the engine.
+  EXPECT_NEAR(slack, expected_slack, 1e-6);
+}
+
+TEST_F(ChainFixture, FactorsScaleCellDelaysExactly) {
+  StaEngine sta(design_, opts_);
+  const double t1 = sta.min_period();
+  std::vector<double> factors(design_.num_instances(), 2.0);
+  const double t2 = sta.min_period(factors);
+  // Everything except setup and the (sub-10fs) wire Elmore terms scales
+  // by exactly 2 — wires are variation-free per the paper's model.
+  const Cell& dff = lib_.cell(lib_.find("DFF_X1"));
+  EXPECT_NEAR(t2 - dff.setup_ns, 2.0 * (t1 - dff.setup_ns), 1e-4);
+}
+
+TEST_F(ChainFixture, PerStageGrouping) {
+  StaEngine sta(design_, opts_);
+  const StaResult res = sta.analyze();
+  EXPECT_TRUE(std::isfinite(res.stage_worst(PipeStage::Execute)));
+  EXPECT_TRUE(std::isfinite(res.stage_worst(PipeStage::Decode)));
+  // The EX path (2 INVs from a port) vs DC path (clk->q + INV): both
+  // positive slack at the default 3.9 ns clock.
+  EXPECT_GT(res.stage_worst(PipeStage::Execute), 0.0);
+  EXPECT_GT(res.stage_worst(PipeStage::Decode), 0.0);
+}
+
+TEST_F(ChainFixture, HighCornerShortensArrival) {
+  StaEngine sta(design_, opts_);
+  const double t_low = sta.min_period();
+  // Everything into domain 1 at the high corner.
+  for (InstId i = 0; i < design_.num_instances(); ++i) {
+    design_.instance(i).domain = 1;
+  }
+  std::vector<int> corners = {kVddLow, kVddHigh};
+  sta.compute_base(corners);
+  const double t_high = sta.min_period();
+  EXPECT_LT(t_high, t_low);
+  EXPECT_NEAR(t_high / t_low, lib_.char_params().high_vdd_speed_ratio(), 0.03);
+}
+
+TEST_F(ChainFixture, TracePathWalksToLaunch) {
+  StaEngine sta(design_, opts_);
+  const StaResult res = sta.analyze();
+  // Find worst endpoint.
+  std::size_t worst = 0;
+  for (std::size_t k = 1; k < res.endpoint_slack.size(); ++k) {
+    if (res.endpoint_slack[k] < res.endpoint_slack[worst]) worst = k;
+  }
+  const auto path = sta.trace_path(worst);
+  ASSERT_GE(path.size(), 2u);
+  // Arrivals are non-decreasing along the path and sum of increments
+  // equals the endpoint arrival.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    sum += path[i].incr_ns;
+    if (i > 0) {
+      EXPECT_GE(path[i].arrival_ns, path[i - 1].arrival_ns - 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, path.back().arrival_ns, 1e-9);
+}
+
+TEST(StaVex, NominalTimingShape) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  const double tmin = sta.min_period();
+  EXPECT_GT(tmin, 0.3);   // a real multi-level pipeline
+  EXPECT_LT(tmin, 20.0);  // and not absurd
+
+  sta.set_clock_period(tmin * 1.01);
+  const StaResult res = sta.analyze();
+  EXPECT_GE(res.wns, 0.0);
+  EXPECT_NEAR(res.wns, 0.01 * tmin, 0.02 * tmin);
+  EXPECT_EQ(res.tns, 0.0);
+
+  // All four stages have endpoints on a VEX core.
+  for (PipeStage s : {PipeStage::Fetch, PipeStage::Decode, PipeStage::Execute,
+                      PipeStage::WriteBack}) {
+    EXPECT_TRUE(std::isfinite(res.stage_worst(s))) << stage_name(s);
+  }
+}
+
+TEST(StaVex, ExecuteIsTheCriticalStage) {
+  // The paper: the global critical path lives in the EX stage (through a
+  // forwarding unit and an ALU).
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig{});
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  StaResult res = sta.analyze();
+  const double ex = res.stage_worst(PipeStage::Execute);
+  for (PipeStage s : {PipeStage::Decode, PipeStage::WriteBack}) {
+    EXPECT_LE(ex, res.stage_worst(s) + 1e-9) << stage_name(s);
+  }
+}
+
+TEST(StaVex, TighterClockGoesNegative) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  const double tmin = sta.min_period();
+  sta.set_clock_period(0.9 * tmin);
+  const StaResult res = sta.analyze();
+  EXPECT_LT(res.wns, 0.0);
+  EXPECT_LT(res.tns, 0.0);
+}
+
+TEST(StaVex, MonotoneUnderUniformSlowdown) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  double prev = sta.min_period();
+  for (double f : {1.05, 1.1, 1.2}) {
+    std::vector<double> factors(d.num_instances(), f);
+    const double t = sta.min_period(factors);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace vipvt

@@ -1,0 +1,74 @@
+// Geometry primitive tests (points, rects, distances) plus the table
+// renderer used by the benchmark harnesses.
+
+#include <gtest/gtest.h>
+
+#include "util/geometry.hpp"
+#include "util/table.hpp"
+
+namespace vipvt {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ((a + b), (Point{4.0, 7.0}));
+  EXPECT_EQ((b - a), (Point{2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+}
+
+TEST(Point, Distances) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Rect, BasicQueries) {
+  const Rect r{{0, 0}, {4, 2}};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_EQ(r.center(), (Point{2.0, 1.0}));
+  EXPECT_TRUE(r.contains({4.0, 2.0}));  // boundary inclusive
+  EXPECT_FALSE(r.contains({4.1, 1.0}));
+}
+
+TEST(Rect, Overlap) {
+  const Rect a{{0, 0}, {2, 2}};
+  EXPECT_TRUE(a.overlaps({{1, 1}, {3, 3}}));
+  EXPECT_FALSE(a.overlaps({{2, 0}, {3, 1}}));  // touching is not overlap
+  EXPECT_FALSE(a.overlaps({{5, 5}, {6, 6}}));
+}
+
+TEST(Rect, ExpandFromEmpty) {
+  Rect r = Rect::empty();
+  EXPECT_TRUE(r.is_empty());
+  r.expand({1.0, 2.0});
+  EXPECT_FALSE(r.is_empty());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  r.expand({-1.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.width(), 2.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5, 2)});
+  t.add_row({"b", Table::pct(0.1234, 1)});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| alpha | 1.50  |"), std::string::npos) << s;
+  EXPECT_NE(s.find("12.3%"), std::string::npos) << s;
+}
+
+TEST(Table, RejectsBadRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::pct(0.08, 0), "8%");
+}
+
+}  // namespace
+}  // namespace vipvt

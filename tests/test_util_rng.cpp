@@ -1,0 +1,93 @@
+// Tests for the deterministic PRNG: reproducibility, range contracts and
+// first/second-moment sanity of the normal generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace vipvt {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.5, 1.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(1234);
+  RunningStats rs;
+  for (int i = 0; i < 100000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(99);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal(65.0, 1.3));
+  EXPECT_NEAR(rs.mean(), 65.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 1.3, 0.05);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  RunningStats diff;
+  for (int i = 0; i < 1000; ++i) {
+    diff.add(child.uniform() - parent.uniform());
+  }
+  // Not identical streams.
+  EXPECT_GT(diff.stddev(), 0.1);
+}
+
+TEST(Splitmix, KnownExpansion) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(s, 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+}  // namespace vipvt

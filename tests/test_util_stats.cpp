@@ -1,0 +1,168 @@
+// Unit tests for the statistics toolkit: running moments, histogramming,
+// normal CDF/quantile, chi-squared machinery and the normality test that
+// backs the paper's Fig. 3 fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace vipvt {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(-4.0, 4.0, 32);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) h.add(rng.normal());
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    integral += h.density(b) * (h.bin_hi(b) - h.bin_lo(b));
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerate) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-3.0), 0.00134989803163, 1e-9);
+  EXPECT_NEAR(normal_cdf(5.0, 3.0, 2.0), normal_cdf(1.0), 1e-12);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(ChiSquared, SurvivalFunction) {
+  // chi^2 with k dof has mean k; SF at 0 is 1.
+  EXPECT_NEAR(chi_squared_sf(0.0, 5.0), 1.0, 1e-12);
+  // Known value: P(X >= 3.841) ~ 0.05 for 1 dof.
+  EXPECT_NEAR(chi_squared_sf(3.841458821, 1.0), 0.05, 1e-6);
+  // P(X >= 18.307) ~ 0.05 for 10 dof.
+  EXPECT_NEAR(chi_squared_sf(18.30703805, 10.0), 0.05, 1e-6);
+  EXPECT_THROW(gamma_q(-1.0, 1.0), std::domain_error);
+}
+
+TEST(FitNormal, AcceptsGaussianData) {
+  Rng rng(99);
+  std::vector<double> xs;
+  xs.reserve(4000);
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.normal(-0.2, 0.05));
+  const NormalFit fit = fit_normal(xs, 0.95);
+  EXPECT_NEAR(fit.mean, -0.2, 0.005);
+  EXPECT_NEAR(fit.stddev, 0.05, 0.005);
+  EXPECT_TRUE(fit.accepted) << "p=" << fit.p_value;
+}
+
+TEST(FitNormal, RejectsStronglyBimodalData) {
+  Rng rng(123);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(rng.chance(0.5) ? rng.normal(-1.0, 0.1) : rng.normal(1.0, 0.1));
+  }
+  const NormalFit fit = fit_normal(xs, 0.95);
+  EXPECT_FALSE(fit.accepted);
+}
+
+TEST(FitNormal, TinySamplesAreInconclusive) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_FALSE(fit.accepted);
+  EXPECT_NEAR(fit.mean, 2.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+// Property: chi-squared SF is monotonically decreasing in x.
+class ChiSqMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChiSqMonotone, DecreasingInX) {
+  const double dof = GetParam();
+  double prev = 1.0;
+  for (double x = 0.0; x < 40.0; x += 0.7) {
+    const double sf = chi_squared_sf(x, dof);
+    EXPECT_LE(sf, prev + 1e-12);
+    prev = sf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dofs, ChiSqMonotone,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 10.0, 25.0));
+
+}  // namespace
+}  // namespace vipvt

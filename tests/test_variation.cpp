@@ -1,0 +1,223 @@
+// Variation model tests: exposure-field polynomial scaling, the
+// systematic gradient (slow at A, fast at D), random-component moments,
+// delay-factor physics, and Monte-Carlo SSTA distribution properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/vex.hpp"
+#include "placement/placer.hpp"
+#include "variation/field.hpp"
+#include "variation/mc_ssta.hpp"
+#include "variation/model.hpp"
+
+namespace vipvt {
+namespace {
+
+TEST(ExposureField, ScaledToMaxDeviation) {
+  CharParams cp;
+  const ExposureField field = ExposureField::scaled_65nm(cp);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i <= 100; ++i) {
+    for (int j = 0; j <= 100; ++j) {
+      const double d = field.deviation_at(28.0 * i / 100, 28.0 * j / 100);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+  }
+  EXPECT_NEAR(hi, 0.055, 1e-3);
+  EXPECT_NEAR(lo, -0.055, 1e-3);
+}
+
+TEST(ExposureField, SlowAtOriginFastAtFarCorner) {
+  CharParams cp;
+  const ExposureField field = ExposureField::scaled_65nm(cp);
+  // Longest gates (slowest) at the lower-left of the field.
+  EXPECT_GT(field.lgate_at(0.0, 0.0), cp.lgate_nom * 1.04);
+  EXPECT_LT(field.lgate_at(28.0, 28.0), cp.lgate_nom * 0.97);
+  // Monotone along the diagonal.
+  double prev = field.lgate_at(0.0, 0.0);
+  for (double t = 2.0; t <= 28.0; t += 2.0) {
+    const double cur = field.lgate_at(t, t);
+    EXPECT_LT(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(ExposureField, ClampsOutsideField) {
+  CharParams cp;
+  const ExposureField field = ExposureField::scaled_65nm(cp);
+  EXPECT_DOUBLE_EQ(field.lgate_at(-5.0, -5.0), field.lgate_at(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(field.lgate_at(99.0, 99.0), field.lgate_at(28.0, 28.0));
+}
+
+TEST(ExposureField, AsciiMapRenders) {
+  CharParams cp;
+  const ExposureField field = ExposureField::scaled_65nm(cp);
+  const std::string map = field.ascii_map(20);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 20);
+}
+
+TEST(ExposureField, RejectsDegenerate) {
+  EXPECT_THROW(ExposureField(PolyCoeffs{}, 28.0, 65.0, 0.055),
+               std::invalid_argument);
+  PolyCoeffs ok;
+  ok.c = 1.0;
+  EXPECT_THROW(ExposureField(ok, -1.0, 65.0, 0.055), std::invalid_argument);
+}
+
+TEST(DieLocation, PointsOrderedAlongDiagonal) {
+  const auto a = DieLocation::point('A');
+  const auto b = DieLocation::point('B');
+  const auto c = DieLocation::point('C');
+  const auto d = DieLocation::point('D');
+  EXPECT_LT(a.core_origin_mm.x, b.core_origin_mm.x);
+  EXPECT_LT(b.core_origin_mm.x, c.core_origin_mm.x);
+  EXPECT_LT(c.core_origin_mm.x, d.core_origin_mm.x);
+  EXPECT_THROW(DieLocation::point('Z'), std::invalid_argument);
+}
+
+class ModelTest : public ::testing::Test {
+ protected:
+  CharParams cp_;
+  ExposureField field_ = ExposureField::scaled_65nm(cp_);
+  VariationModel model_{cp_, field_};
+};
+
+TEST_F(ModelTest, RandomComponentMoments) {
+  // 3*sigma_rnd / mu = 6.5 %.
+  EXPECT_NEAR(model_.sigma_random_nm(), 0.065 / 3.0 * cp_.lgate_nom, 1e-9);
+  Rng rng(4);
+  RunningStats rs;
+  const DieLocation loc = DieLocation::point('B');
+  const Point pos{100.0, 100.0};
+  for (int i = 0; i < 20000; ++i) {
+    rs.add(model_.sample_lgate(pos, loc, rng));
+  }
+  EXPECT_NEAR(rs.mean(), model_.systematic_lgate(pos, loc), 0.05);
+  EXPECT_NEAR(rs.stddev(), model_.sigma_random_nm(), 0.05);
+}
+
+TEST_F(ModelTest, DelayFactorIdentityAtNominal) {
+  EXPECT_DOUBLE_EQ(model_.delay_factor(cp_.lgate_nom, kVddLow), 1.0);
+  EXPECT_DOUBLE_EQ(model_.delay_factor(cp_.lgate_nom, kVddHigh), 1.0);
+}
+
+TEST_F(ModelTest, LongerGateSlower) {
+  EXPECT_GT(model_.delay_factor(cp_.lgate_nom * 1.05, kVddLow), 1.05);
+  EXPECT_LT(model_.delay_factor(cp_.lgate_nom * 0.95, kVddLow), 0.95);
+}
+
+TEST_F(ModelTest, HighVddLessSensitiveToLgate) {
+  // Raising Vdd reduces the *relative* slowdown of a long gate (higher
+  // overdrive): the compensation mechanism in one inequality.
+  const double slow_low = model_.delay_factor(cp_.lgate_nom * 1.05, kVddLow);
+  const double slow_high = model_.delay_factor(cp_.lgate_nom * 1.05, kVddHigh);
+  EXPECT_LT(slow_high, slow_low);
+}
+
+TEST_F(ModelTest, WorstCoreLocationIsSlowest) {
+  const Point pos{200.0, 200.0};
+  const double a = model_.systematic_lgate(pos, DieLocation::point('A'));
+  const double d = model_.systematic_lgate(pos, DieLocation::point('D'));
+  EXPECT_GT(a, d);
+}
+
+class McFixture : public ::testing::Test {
+ protected:
+  McFixture() : design_(make_vex_design(lib_, VexConfig::tiny())) {
+    fp_ = std::make_unique<Floorplan>(
+        Floorplan::for_design(design_, FloorplanConfig{}));
+    db_ = std::make_unique<PlacementDb>(*fp_);
+    place_design(design_, *fp_, PlacerConfig{}, *db_);
+    sta_ = std::make_unique<StaEngine>(design_, StaOptions{});
+    // Slack-met at nominal.
+    sta_->set_clock_period(sta_->min_period() * 1.01);
+    field_ = std::make_unique<ExposureField>(
+        ExposureField::scaled_65nm(lib_.char_params()));
+    model_ = std::make_unique<VariationModel>(lib_.char_params(), *field_);
+  }
+
+  Library lib_ = make_st65lp_like();
+  Design design_;
+  std::unique_ptr<Floorplan> fp_;
+  std::unique_ptr<PlacementDb> db_;
+  std::unique_ptr<StaEngine> sta_;
+  std::unique_ptr<ExposureField> field_;
+  std::unique_ptr<VariationModel> model_;
+};
+
+TEST_F(McFixture, WorstLocationViolatesBestDoesNot) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 150;
+  const McResult at_a = mc.run(DieLocation::point('A'), cfg);
+  const McResult at_d = mc.run(DieLocation::point('D'), cfg);
+  EXPECT_GT(at_a.num_violating_stages(), 0);
+  EXPECT_LE(at_d.num_violating_stages(), at_a.num_violating_stages());
+  // Mean slack degrades toward A.
+  const auto& ex_a = at_a.stage(PipeStage::Execute);
+  const auto& ex_d = at_d.stage(PipeStage::Execute);
+  ASSERT_TRUE(ex_a.present);
+  ASSERT_TRUE(ex_d.present);
+  EXPECT_LT(ex_a.fit.mean, ex_d.fit.mean);
+}
+
+TEST_F(McFixture, SeverityMonotoneAlongDiagonal) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 100;
+  int prev = 4;
+  for (double t : {0.0, 0.3, 0.6, 0.9}) {
+    DieLocation loc;
+    loc.core_origin_mm = {t * 14.0, t * 14.0};
+    const McResult res = mc.run(loc, cfg);
+    EXPECT_LE(res.num_violating_stages(), prev);
+    prev = res.num_violating_stages();
+  }
+}
+
+TEST_F(McFixture, DistributionsFitNormals) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 400;
+  const McResult res = mc.run(DieLocation::point('A'), cfg);
+  const auto& ex = res.stage(PipeStage::Execute);
+  ASSERT_TRUE(ex.present);
+  EXPECT_EQ(ex.samples.size(), 400u);
+  EXPECT_GT(ex.fit.stddev, 0.0);
+  // The paper fit stage distributions to normals at 95 % confidence; our
+  // max-of-many-paths slack is normal-ish — require the fit not to be
+  // wildly rejected (p above 1e-4) rather than strictly accepted.
+  EXPECT_GT(ex.fit.p_value, 1e-4);
+}
+
+TEST_F(McFixture, EndpointCriticalityBounded) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 80;
+  const McResult res = mc.run(DieLocation::point('A'), cfg);
+  double max_p = 0.0;
+  for (double p : res.endpoint_crit_prob) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_GT(max_p, 0.0);  // someone violates at point A
+}
+
+TEST_F(McFixture, DeterministicForSeed) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 50;
+  const McResult r1 = mc.run(DieLocation::point('B'), cfg);
+  const McResult r2 = mc.run(DieLocation::point('B'), cfg);
+  const auto& s1 = r1.stage(PipeStage::Execute).samples;
+  const auto& s2 = r2.stage(PipeStage::Execute).samples;
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i], s2[i]);
+}
+
+}  // namespace
+}  // namespace vipvt
