@@ -5,8 +5,12 @@
 // library), differing only in the voltage-island slicing direction.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "vi/flow.hpp"
 
@@ -41,5 +45,39 @@ inline void print_header(const char* id, const char* title) {
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench result sink: accumulate flat key -> number
+/// metrics and emit them as a small JSON file (e.g. BENCH_wafer.json) so
+/// future PRs can track performance trajectories without parsing the
+/// human-oriented tables.  Keys are emitted in insertion order; numbers
+/// with fixed precision — the file diffs cleanly run-to-run.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes {"bench": name, "metrics": {...}} to `path`.
+  void write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+    os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6f", metrics_[i].second);
+      os << (i ? ",\n    " : "\n    ") << '"' << metrics_[i].first
+         << "\": " << buf;
+    }
+    os << "\n  }\n}\n";
+    if (!os) throw std::runtime_error("write failed: " + path);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace vipvt::bench

@@ -1,0 +1,124 @@
+#include "io/yield_writers.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vipvt {
+
+namespace {
+
+// Fixed-width float formatting: locale-independent and stable across
+// runs, so serialized reports are byte-comparable.
+std::string num(double v, int digits = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+template <typename F>
+void open_and_write(const std::string& path, F&& writer) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  writer(os);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+void write_stats_json(std::ostream& os, const RunningStats& s) {
+  os << "{\"count\": " << s.count() << ", \"mean\": " << num(s.mean())
+     << ", \"stddev\": " << num(s.stddev()) << ", \"min\": " << num(s.min())
+     << ", \"max\": " << num(s.max()) << "}";
+}
+
+}  // namespace
+
+void write_yield_csv(std::ostream& os, const WaferModel& wafer,
+                     const YieldReport& report) {
+  if (report.dies.size() != wafer.num_dies()) {
+    throw std::invalid_argument("write_yield_csv: report/wafer die mismatch");
+  }
+  os << "die_id,grid_col,grid_row,center_x_mm,center_y_mm,field_x_mm,"
+        "field_y_mm,mc_severity,detected_severity,policy,islands_raised,"
+        "timing_met,escalated,missed_violation,wns_all_low_ns,wns_final_ns,"
+        "fmax_ghz,total_mw,leakage_mw\n";
+  for (const DieOutcome& d : report.dies) {
+    const WaferDie& g = wafer.dies()[static_cast<std::size_t>(d.die_id)];
+    os << d.die_id << ',' << wafer.grid_col(g) << ',' << wafer.grid_row(g)
+       << ',' << num(g.center_mm.x, 3) << ',' << num(g.center_mm.y, 3) << ','
+       << num(g.location.chip_origin_mm.x, 3) << ','
+       << num(g.location.chip_origin_mm.y, 3) << ',' << d.mc_severity << ','
+       << d.detected_severity << ',' << tuning_policy_name(d.policy) << ','
+       << d.islands_raised << ',' << int{d.timing_met} << ','
+       << int{d.escalated} << ',' << int{d.missed_violation} << ','
+       << num(d.wns_all_low_ns) << ',' << num(d.wns_final_ns) << ','
+       << num(d.fmax_ghz) << ',' << num(d.total_mw) << ','
+       << num(d.leakage_mw) << '\n';
+  }
+}
+
+void write_yield_json(std::ostream& os, const YieldReport& report) {
+  os << "{\n";
+  os << "  \"wafer\": {\"diameter_mm\": " << num(report.wafer.wafer_diameter_mm, 1)
+     << ", \"edge_exclusion_mm\": " << num(report.wafer.edge_exclusion_mm, 1)
+     << ", \"field_mm\": " << num(report.wafer.field_mm, 1)
+     << ", \"die_mm\": " << num(report.wafer.die_mm, 1) << "},\n";
+  os << "  \"mc_samples\": " << report.config.mc.samples << ",\n";
+  os << "  \"seed\": " << report.config.seed << ",\n";
+  os << "  \"total_dies\": " << report.total_dies() << ",\n";
+  os << "  \"shipped_dies\": " << report.shipped_dies() << ",\n";
+  os << "  \"parametric_yield\": " << num(report.parametric_yield()) << ",\n";
+
+  os << "  \"policy_count\": {";
+  for (int p = 0; p < kNumTuningPolicies; ++p) {
+    os << (p ? ", " : "") << '"'
+       << tuning_policy_name(static_cast<TuningPolicy>(p))
+       << "\": " << report.policy_count[static_cast<std::size_t>(p)];
+  }
+  os << "},\n";
+
+  os << "  \"island_activation\": [";
+  for (std::size_t k = 0; k < report.island_activation.size(); ++k) {
+    os << (k ? ", " : "") << report.island_activation[k];
+  }
+  os << "],\n";
+
+  os << "  \"power_mw\": {";
+  for (int p = 0; p < kNumTuningPolicies; ++p) {
+    os << (p ? ", " : "") << '"'
+       << tuning_policy_name(static_cast<TuningPolicy>(p)) << "\": ";
+    write_stats_json(os, report.power_mw[static_cast<std::size_t>(p)]);
+  }
+  os << "},\n";
+
+  os << "  \"leakage_mw\": {";
+  for (int p = 0; p < kNumTuningPolicies; ++p) {
+    os << (p ? ", " : "") << '"'
+       << tuning_policy_name(static_cast<TuningPolicy>(p)) << "\": ";
+    write_stats_json(os, report.leakage_mw[static_cast<std::size_t>(p)]);
+  }
+  os << "},\n";
+
+  os << "  \"fmax_ghz\": ";
+  write_stats_json(os, report.fmax_ghz);
+  os << ",\n";
+  os << "  \"speed_bins\": {\"lo_ghz\": " << num(report.speed_bin_lo_ghz)
+     << ", \"step_ghz\": " << num(report.speed_bin_step_ghz) << ", \"count\": [";
+  for (std::size_t k = 0; k < report.speed_bin_count.size(); ++k) {
+    os << (k ? ", " : "") << report.speed_bin_count[k];
+  }
+  os << "]}\n";
+  os << "}\n";
+}
+
+void write_yield_csv_file(const std::string& path, const WaferModel& wafer,
+                          const YieldReport& report) {
+  open_and_write(path,
+                 [&](std::ostream& os) { write_yield_csv(os, wafer, report); });
+}
+
+void write_yield_json_file(const std::string& path, const YieldReport& report) {
+  open_and_write(path, [&](std::ostream& os) { write_yield_json(os, report); });
+}
+
+}  // namespace vipvt

@@ -1,0 +1,32 @@
+#pragma once
+// Yield-report emission: the wafer-scale results leave the virtual fab
+// in the two formats downstream consumers actually take — a per-die CSV
+// (one row per die, for pandas/spreadsheet slicing) and an aggregate
+// JSON document (for dashboards and the bench trajectory files).  Like
+// every writer in this library, output is deterministic: fixed column
+// order, die-id row order, fixed float formatting — so reports diff
+// cleanly across runs and thread counts (test_yield.cpp compares
+// serialized reports byte-for-byte).
+
+#include <iosfwd>
+#include <string>
+
+#include "yield/yield.hpp"
+
+namespace vipvt {
+
+/// CSV, one row per die: id, location, MC severity, policy, islands,
+/// timing, wns, fmax, power.
+void write_yield_csv(std::ostream& os, const WaferModel& wafer,
+                     const YieldReport& report);
+
+/// JSON: wafer config, yield/policy counts, island activation, power
+/// stats per policy, speed bins.  Not a per-die dump — pair with the CSV.
+void write_yield_json(std::ostream& os, const YieldReport& report);
+
+/// Convenience file variants; throw on I/O failure.
+void write_yield_csv_file(const std::string& path, const WaferModel& wafer,
+                          const YieldReport& report);
+void write_yield_json_file(const std::string& path, const YieldReport& report);
+
+}  // namespace vipvt

@@ -67,6 +67,18 @@ class StaEngine {
   /// The design must be fully placed (wire delays come from net HPWL).
   StaEngine(const Design& design, const StaOptions& opts);
 
+  /// The engine is cheaply copyable, and copying is the supported way to
+  /// run analyses on multiple threads: analyze() is const but writes the
+  /// per-engine scratchpad, and compute_base() rewrites the base delays,
+  /// so concurrent use of ONE engine races.  A copy carries the source's
+  /// base delays (no recomputation) and its own scratch.  The referenced
+  /// Design must outlive every copy and stay unmodified while copies are
+  /// in flight.
+  StaEngine(const StaEngine&) = default;
+  StaEngine& operator=(const StaEngine&) = default;
+  StaEngine(StaEngine&&) = default;
+  StaEngine& operator=(StaEngine&&) = default;
+
   const Design& design() const { return *design_; }
   const StaOptions& options() const { return opts_; }
   void set_clock_period(double ns) { opts_.clock_period_ns = ns; }

@@ -1,0 +1,77 @@
+#include "util/parallel.hpp"
+
+#include <exception>
+
+namespace vipvt {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::run_on_workers(unsigned count,
+                                const std::function<void(unsigned)>& fn) {
+  if (count == 0) return;
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable done;
+    unsigned remaining;
+    std::exception_ptr error;
+  } barrier{.mu = {}, .done = {}, .remaining = count, .error = nullptr};
+
+  for (unsigned slot = 0; slot < count; ++slot) {
+    submit([&barrier, &fn, slot] {
+      std::exception_ptr err;
+      try {
+        fn(slot);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(barrier.mu);
+      if (err && !barrier.error) barrier.error = err;
+      if (--barrier.remaining == 0) barrier.done.notify_all();
+    });
+  }
+  std::unique_lock lock(barrier.mu);
+  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  if (barrier.error) std::rethrow_exception(barrier.error);
+}
+
+}  // namespace vipvt

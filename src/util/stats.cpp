@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <sstream>
 #include <stdexcept>
@@ -205,7 +206,21 @@ double chi_squared_sf(double x, double k) { return gamma_q(k / 2.0, x / 2.0); }
 NormalFit fit_normal(std::span<const double> samples, double confidence) {
   NormalFit fit;
   RunningStats rs;
-  for (double s : samples) rs.add(s);
+  bool finite = true;
+  for (double s : samples) {
+    finite = finite && std::isfinite(s);
+    rs.add(s);
+  }
+  if (!finite) {
+    // Propagate rather than throw: near-empty or corrupted bins (e.g. a
+    // wafer speed bin whose dies all failed analysis) report NaN moments
+    // and an unaccepted fit instead of aborting the batch.
+    fit.mean = std::numeric_limits<double>::quiet_NaN();
+    fit.stddev = std::numeric_limits<double>::quiet_NaN();
+    fit.p_value = 0.0;
+    fit.accepted = false;
+    return fit;
+  }
   fit.mean = rs.mean();
   fit.stddev = rs.stddev();
   if (samples.size() < 8 || fit.stddev <= 0.0) {

@@ -22,7 +22,7 @@ int McResult::num_violating_stages() const {
   return n;
 }
 
-MonteCarloSsta::MonteCarloSsta(const Design& design, StaEngine& sta,
+MonteCarloSsta::MonteCarloSsta(const Design& design, const StaEngine& sta,
                                const VariationModel& model)
     : design_(&design), sta_(&sta), model_(&model) {}
 

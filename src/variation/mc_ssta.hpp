@@ -57,7 +57,12 @@ struct McResult {
 
 class MonteCarloSsta {
  public:
-  MonteCarloSsta(const Design& design, StaEngine& sta,
+  /// Sampling never mutates the engine (analyze() is const apart from
+  /// its per-engine scratchpad), so a const reference suffices.  NOTE:
+  /// the scratchpad means two threads must not sample through the SAME
+  /// engine concurrently — give each worker its own copy (StaEngine is
+  /// cheaply copyable precisely for this).
+  MonteCarloSsta(const Design& design, const StaEngine& sta,
                  const VariationModel& model);
 
   /// Runs `cfg.samples` draws for a core at `loc`.  The STA engine's
@@ -67,7 +72,7 @@ class MonteCarloSsta {
 
  private:
   const Design* design_;
-  StaEngine* sta_;
+  const StaEngine* sta_;
   const VariationModel* model_;
 };
 

@@ -80,6 +80,7 @@ class Flow {
   const Floorplan& floorplan() const { return *fp_; }
   PlacementDb& placement_db() { return *db_; }
   StaEngine& sta() { return *sta_; }
+  const StaEngine& sta() const { return *sta_; }
   const ExposureField& field() const { return *field_; }
   const VariationModel& variation() const { return *model_; }
 
@@ -87,6 +88,16 @@ class Flow {
   double post_shifter_clock_ns() const { return post_shifter_clock_ns_; }
   /// (post - pre) / pre, the paper's "8 % / 15 %" number.
   double shifter_perf_degradation() const;
+
+  // ---- cheap pipeline-state queries ---------------------------------------
+  // Each step's accessor throws before the step has run; these let benches
+  // and batch drivers branch on pipeline state without the
+  // throw-and-catch dance around an unset std::optional.
+  bool characterized() const noexcept { return scenarios_.has_value(); }
+  bool islands_generated() const noexcept { return island_plan_.has_value(); }
+  bool shifters_inserted() const noexcept { return shifter_report_.has_value(); }
+  bool sensors_planned() const noexcept { return razor_plan_.has_value(); }
+  bool activity_simulated() const noexcept { return activity_.has_value(); }
 
   const RecoveryReport& recovery_report() const { return recovery_report_; }
   const ScenarioSet& scenarios() const;

@@ -1,0 +1,195 @@
+#include "yield/yield.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vi/flow.hpp"
+
+namespace vipvt {
+
+const char* tuning_policy_name(TuningPolicy p) {
+  switch (p) {
+    case TuningPolicy::AllLow: return "all-low";
+    case TuningPolicy::NestedIslands: return "nested-islands";
+    case TuningPolicy::ChipWideHigh: return "chip-wide-high";
+    case TuningPolicy::Discard: return "discard";
+  }
+  return "?";
+}
+
+char tuning_policy_glyph(TuningPolicy p, int islands_raised) {
+  switch (p) {
+    case TuningPolicy::AllLow: return '0';
+    case TuningPolicy::NestedIslands:
+      return islands_raised <= 9 ? static_cast<char>('0' + islands_raised)
+                                 : '9';
+    case TuningPolicy::ChipWideHigh: return 'H';
+    case TuningPolicy::Discard: return 'X';
+  }
+  return '?';
+}
+
+std::string YieldReport::policy_glyphs() const {
+  std::string glyphs(dies.size(), '?');
+  for (const DieOutcome& d : dies) {
+    glyphs[static_cast<std::size_t>(d.die_id)] =
+        tuning_policy_glyph(d.policy, d.islands_raised);
+  }
+  return glyphs;
+}
+
+YieldAnalyzer::YieldAnalyzer(const Design& design, const StaEngine& sta,
+                             const VariationModel& model,
+                             const IslandPlan& plan, const RazorPlan& sensors,
+                             const ActivityDb& activity, double clock_freq_ghz)
+    : design_(&design), sta_(&sta), model_(&model), plan_(&plan),
+      sensors_(&sensors), activity_(&activity),
+      clock_freq_ghz_(clock_freq_ghz) {}
+
+YieldAnalyzer YieldAnalyzer::from_flow(const Flow& flow) {
+  if (!flow.sensors_planned() || !flow.activity_simulated()) {
+    throw std::logic_error(
+        "YieldAnalyzer::from_flow: run plan_sensors() and "
+        "simulate_activity() first");
+  }
+  return YieldAnalyzer(flow.design(), flow.sta(), flow.variation(),
+                       flow.island_plan(), flow.razor_plan(), flow.activity(),
+                       1.0 / flow.post_shifter_clock_ns());
+}
+
+DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
+                                      const YieldConfig& cfg) const {
+  DieOutcome out;
+  out.die_id = die.id;
+
+  // Every random decision of this die derives from its id, never from
+  // the worker or schedule: the determinism-under-parallelism contract.
+  Rng die_rng(substream_seed(cfg.seed, static_cast<std::uint64_t>(die.id)));
+
+  // 1. Population statistics: MC SSTA at the all-low supply.
+  engine.compute_base(plan_->corners_for_severity(0));
+  McConfig mcc = cfg.mc;
+  mcc.seed = die_rng.next();
+  const McResult mc =
+      MonteCarloSsta(*design_, engine, *model_).run(die.location, mcc);
+  out.mc_severity = mc.num_violating_stages();
+  if (!mc.min_period_samples.empty()) {
+    const double period_ns =
+        percentile(mc.min_period_samples, cfg.speed_percentile);
+    if (period_ns > 0.0) out.fmax_ghz = 1.0 / period_ns;
+  }
+
+  // 2-3. This wafer's silicon + post-silicon policy selection.
+  Rng fab_rng = die_rng.fork();
+  const VirtualChip chip =
+      fabricate_chip(*design_, *model_, die.location, fab_rng);
+  CompensationController ctrl(*design_, engine, *model_, *plan_, *sensors_);
+  const CompensationOutcome comp = ctrl.compensate(chip, cfg.allow_escalation);
+  out.detected_severity = comp.detected_severity;
+  out.islands_raised = comp.islands_raised;
+  out.escalated = comp.escalated;
+  out.missed_violation = comp.missed_violation;
+  out.wns_all_low_ns = comp.wns_before;
+  out.wns_final_ns = comp.wns_after;
+  out.timing_met = comp.timing_met;
+
+  std::vector<int> corners;
+  if (comp.timing_met) {
+    out.policy = comp.islands_raised == 0 ? TuningPolicy::AllLow
+                                          : TuningPolicy::NestedIslands;
+    corners = plan_->corners_for_severity(comp.islands_raised);
+  } else if (cfg.allow_chip_wide_fallback) {
+    // Even all islands failed: the paper's chip-wide adaptive baseline.
+    corners.assign(static_cast<std::size_t>(plan_->num_islands()) + 1,
+                   kVddHigh);
+    engine.compute_base(corners);
+    const StaResult truth = engine.analyze(ctrl.chip_factors(chip));
+    out.wns_final_ns = truth.wns;
+    if (truth.wns >= 0.0) {
+      out.policy = TuningPolicy::ChipWideHigh;
+      out.timing_met = true;
+    } else {
+      out.policy = TuningPolicy::Discard;
+    }
+  } else {
+    out.policy = TuningPolicy::Discard;
+  }
+  if (out.policy == TuningPolicy::Discard) corners.clear();  // all-low power
+
+  // 4. Power under the selected supply assignment, fabricated here.
+  PowerConfig pc;
+  pc.clock_freq_ghz = clock_freq_ghz_;
+  pc.variation = model_;
+  pc.location = &die.location;
+  const PowerBreakdown p = PowerEngine(*design_, *activity_).compute(corners, pc);
+  out.total_mw = p.total_mw();
+  out.leakage_mw = p.leakage_mw;
+  return out;
+}
+
+void YieldAnalyzer::aggregate(YieldReport& report) const {
+  report.island_activation.assign(
+      static_cast<std::size_t>(plan_->num_islands()) + 1, 0);
+  for (const DieOutcome& d : report.dies) {
+    const auto p = static_cast<std::size_t>(d.policy);
+    ++report.policy_count[p];
+    report.power_mw[p].add(d.total_mw);
+    report.leakage_mw[p].add(d.leakage_mw);
+    if (d.policy == TuningPolicy::AllLow ||
+        d.policy == TuningPolicy::NestedIslands) {
+      ++report.island_activation[static_cast<std::size_t>(
+          std::clamp<int>(d.islands_raised, 0, plan_->num_islands()))];
+    }
+    if (d.policy != TuningPolicy::Discard && d.fmax_ghz > 0.0) {
+      report.fmax_ghz.add(d.fmax_ghz);
+    }
+  }
+
+  // Speed bins over the shipped-die fmax range.
+  if (report.fmax_ghz.count() == 0 || report.config.speed_bins == 0) return;
+  const double lo = report.fmax_ghz.min();
+  const double hi = report.fmax_ghz.max();
+  report.speed_bin_lo_ghz = lo;
+  report.speed_bin_count.assign(report.config.speed_bins, 0);
+  if (!(hi > lo)) {
+    // All shipped dies bin identically (tiny wafers / zero variance).
+    report.speed_bin_step_ghz = 0.0;
+    report.speed_bin_count[0] = report.fmax_ghz.count();
+    return;
+  }
+  report.speed_bin_step_ghz =
+      (hi - lo) / static_cast<double>(report.config.speed_bins);
+  for (const DieOutcome& d : report.dies) {
+    if (d.policy == TuningPolicy::Discard || !(d.fmax_ghz > 0.0)) continue;
+    const auto bin = std::min<std::size_t>(
+        report.config.speed_bins - 1,
+        static_cast<std::size_t>((d.fmax_ghz - lo) / report.speed_bin_step_ghz));
+    ++report.speed_bin_count[bin];
+  }
+}
+
+YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
+                                   const YieldConfig& cfg,
+                                   ThreadPool* pool) const {
+  YieldReport report;
+  report.wafer = wafer.config();
+  report.config = cfg;
+  const std::vector<WaferDie>& dies = wafer.dies();
+  report.dies.resize(dies.size());
+
+  const auto make_engine = [this] { return StaEngine(*sta_); };
+  const auto body = [&](StaEngine& engine, std::size_t i) {
+    report.dies[i] = analyze_die(engine, dies[i], cfg);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, dies.size(), make_engine, body);
+  } else {
+    StaEngine engine = make_engine();
+    for (std::size_t i = 0; i < dies.size(); ++i) body(engine, i);
+  }
+
+  aggregate(report);
+  return report;
+}
+
+}  // namespace vipvt

@@ -1,0 +1,163 @@
+#pragma once
+// Wafer-scale yield analysis: the "virtual fab".  Where the paper
+// evaluates compensation at four hand-picked die locations (A-D on the
+// exposure-field diagonal), this subsystem fabricates EVERY die of a
+// wafer and asks the production questions: parametric yield, per-policy
+// power distributions, speed binning, island-activation statistics.
+//
+// Per die, deterministically keyed by the die id (substream_seed):
+//
+//   1. Monte-Carlo SSTA at the die's field location, all-low supply —
+//      the die's *population* timing statistics (severity per the
+//      3-sigma criterion, achievable-fmax distribution for speed bins).
+//   2. Fabricate one virtual chip (concrete per-gate Lgate map) — this
+//      wafer's actual silicon at that location.
+//   3. Post-silicon tuning-policy selection, reusing the
+//      CompensationController test flow: read Razor sensors at all-low,
+//      raise nested islands 1..k with escalation; if even all islands
+//      fail, fall back to chip-wide high Vdd; if that fails too, the die
+//      is discarded (parametric yield loss).
+//   4. Power breakdown under the selected supply assignment at the die's
+//      location.
+//
+// The per-die work is embarrassingly parallel; analyze() runs it on a
+// ThreadPool with per-worker StaEngine clones and produces BIT-IDENTICAL
+// reports for any thread count (asserted in tests/test_yield.cpp) —
+// aggregation happens serially in die-id order after the parallel loop.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "power/power.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+#include "variation/mc_ssta.hpp"
+#include "vi/compensate.hpp"
+#include "vi/islands.hpp"
+#include "vi/razor.hpp"
+#include "yield/wafer.hpp"
+
+namespace vipvt {
+
+class Flow;
+
+/// Post-silicon tuning decision for one die, in escalation order.
+enum class TuningPolicy : std::uint8_t {
+  AllLow = 0,     ///< meets timing uncompensated
+  NestedIslands,  ///< islands 1..k raised (k in DieOutcome::islands_raised)
+  ChipWideHigh,   ///< whole chip at high Vdd (the paper's baseline)
+  Discard,        ///< fails timing even chip-wide: parametric yield loss
+};
+inline constexpr int kNumTuningPolicies = 4;
+const char* tuning_policy_name(TuningPolicy p);
+/// One-character wafer-map glyph: '0'..'9' islands raised, 'H' chip-wide
+/// high, 'X' discard.
+char tuning_policy_glyph(TuningPolicy p, int islands_raised);
+
+struct YieldConfig {
+  /// Per-die Monte-Carlo SSTA; mc.seed is ignored (derived per die from
+  /// `seed` so results never depend on scheduling).
+  McConfig mc{.samples = 48, .seed = 0, .confidence = 0.95};
+  std::uint64_t seed = 0x5afe57a7eULL;
+  /// Speed bin metric: the die's achievable clock is this percentile of
+  /// its MC min-period distribution (conservative binning).
+  double speed_percentile = 0.95;
+  std::size_t speed_bins = 8;
+  bool allow_escalation = true;
+  bool allow_chip_wide_fallback = true;
+};
+
+struct DieOutcome {
+  int die_id = 0;
+  int mc_severity = 0;        ///< violating stages per 3-sigma MC criterion
+  int detected_severity = 0;  ///< stages the Razor sensors flagged
+  int islands_raised = 0;     ///< for AllLow/NestedIslands policies
+  TuningPolicy policy = TuningPolicy::Discard;
+  bool timing_met = false;
+  bool escalated = false;         ///< needed more islands than detected
+  bool missed_violation = false;  ///< violating endpoint without a sensor
+  double wns_all_low_ns = 0.0;
+  double wns_final_ns = 0.0;
+  double fmax_ghz = 0.0;  ///< 1 / speed-percentile min period (all-low)
+  double total_mw = 0.0;  ///< under the selected policy, at this die
+  double leakage_mw = 0.0;
+};
+
+struct YieldReport {
+  WaferConfig wafer{};
+  YieldConfig config{};
+  std::vector<DieOutcome> dies;  ///< die-id order (== WaferModel::dies())
+
+  // ---- aggregates (filled serially after the per-die loop) ---------------
+  std::array<std::size_t, kNumTuningPolicies> policy_count{};
+  /// Histogram of islands_raised over island-compensated dies (index 0 =
+  /// all-low dies); size num_islands()+1.
+  std::vector<std::size_t> island_activation;
+  std::array<RunningStats, kNumTuningPolicies> power_mw;
+  std::array<RunningStats, kNumTuningPolicies> leakage_mw;
+  RunningStats fmax_ghz;  ///< over shipped (non-discarded) dies
+  /// Speed-bin histogram over shipped-die fmax: bin i spans
+  /// [lo + i*step, lo + (i+1)*step).
+  std::vector<std::size_t> speed_bin_count;
+  double speed_bin_lo_ghz = 0.0;
+  double speed_bin_step_ghz = 0.0;
+
+  std::size_t total_dies() const { return dies.size(); }
+  std::size_t count(TuningPolicy p) const {
+    return policy_count[static_cast<std::size_t>(p)];
+  }
+  std::size_t shipped_dies() const {
+    return dies.size() - count(TuningPolicy::Discard);
+  }
+  /// Fraction of dies that ship under SOME policy (the classic
+  /// parametric-yield number).
+  double parametric_yield() const {
+    return dies.empty() ? 0.0
+                        : static_cast<double>(shipped_dies()) /
+                              static_cast<double>(dies.size());
+  }
+  /// Glyph string indexed by die id, for WaferModel::ascii_map().
+  std::string policy_glyphs() const;
+};
+
+class YieldAnalyzer {
+ public:
+  /// All references must outlive the analyzer.  `sta` must hold the
+  /// final netlist (islands assigned, shifters inserted, Razor flops
+  /// applied) — the same precondition as CompensationController; it is
+  /// only ever COPIED (one clone per worker), never mutated.
+  YieldAnalyzer(const Design& design, const StaEngine& sta,
+                const VariationModel& model, const IslandPlan& plan,
+                const RazorPlan& sensors, const ActivityDb& activity,
+                double clock_freq_ghz);
+
+  /// Convenience: borrow everything from a Flow that has run
+  /// plan_sensors() and simulate_activity() (throws otherwise — checked
+  /// via the Flow's cheap state queries).
+  static YieldAnalyzer from_flow(const Flow& flow);
+
+  /// Analyze every die of the wafer.  `pool == nullptr` runs serially;
+  /// any pool produces the identical report.
+  YieldReport analyze(const WaferModel& wafer, const YieldConfig& cfg = {},
+                      ThreadPool* pool = nullptr) const;
+
+  /// Single-die analysis on a caller-owned engine clone (the parallel
+  /// loop's body; exposed for tests and custom drivers).  Leaves the
+  /// engine's base delays at the die's final corner assignment.
+  DieOutcome analyze_die(StaEngine& engine, const WaferDie& die,
+                         const YieldConfig& cfg) const;
+
+ private:
+  void aggregate(YieldReport& report) const;
+
+  const Design* design_;
+  const StaEngine* sta_;
+  const VariationModel* model_;
+  const IslandPlan* plan_;
+  const RazorPlan* sensors_;
+  const ActivityDb* activity_;
+  double clock_freq_ghz_;
+};
+
+}  // namespace vipvt

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -79,6 +81,79 @@ TEST(Rng, ForkDecorrelates) {
   }
   // Not identical streams.
   EXPECT_GT(diff.stddev(), 0.1);
+}
+
+namespace {
+
+// Pearson correlation of two equal-length sequences.
+double correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+std::vector<double> draw(Rng& rng, int n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = rng.uniform();
+  return v;
+}
+
+}  // namespace
+
+// Regression for the weak fork() derivation: a child seeded from a
+// single parent draw XOR'd with a constant leaves parent/child and
+// sibling/sibling streams correlated.  The reseed through the full
+// splitmix64 expansion of two draws must keep every pairwise sample
+// correlation at statistical-noise level (|r| ~ 1/sqrt(n)).
+TEST(Rng, ForkStreamsStatisticallyIndependent) {
+  constexpr int n = 4096;
+  const double bound = 4.0 / std::sqrt(static_cast<double>(n));  // ~4 sigma
+
+  Rng parent(0xfeedface);
+  Rng child = parent.fork();
+  auto child_seq = draw(child, n);
+  auto parent_seq = draw(parent, n);
+  EXPECT_LT(std::abs(correlation(parent_seq, child_seq)), bound);
+
+  // Siblings forked in sequence (the per-MC-sample pattern).
+  Rng p2(1);
+  std::vector<std::vector<double>> sibs;
+  for (int k = 0; k < 4; ++k) {
+    Rng s = p2.fork();
+    sibs.push_back(draw(s, n));
+  }
+  for (std::size_t i = 0; i < sibs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sibs.size(); ++j) {
+      EXPECT_LT(std::abs(correlation(sibs[i], sibs[j])), bound)
+          << "siblings " << i << "," << j;
+    }
+  }
+}
+
+TEST(Rng, ForkAdvancesParentByTwoDraws) {
+  Rng a(7), b(7);
+  (void)a.fork();
+  b.next();
+  b.next();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SubstreamSeedsDecorrelate) {
+  // Consecutive batch indices — worst case for a weak mixer — must give
+  // independent streams.
+  constexpr int n = 4096;
+  const double bound = 4.0 / std::sqrt(static_cast<double>(n));
+  Rng s0(substream_seed(0x5eed, 0));
+  Rng s1(substream_seed(0x5eed, 1));
+  auto a = draw(s0, n);
+  auto b = draw(s1, n);
+  EXPECT_LT(std::abs(correlation(a, b)), bound);
 }
 
 TEST(Splitmix, KnownExpansion) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -138,6 +139,66 @@ TEST(FitNormal, TinySamplesAreInconclusive) {
   const NormalFit fit = fit_normal(xs);
   EXPECT_FALSE(fit.accepted);
   EXPECT_NEAR(fit.mean, 2.0, 1e-12);
+}
+
+// Edge cases hit by near-empty wafer yield bins: constant data, fewer
+// samples than test bins, and NaN contamination must all return a fit
+// (never throw) with sane acceptance semantics.
+
+TEST(FitNormal, ConstantSamplesAreDegenerateNormal) {
+  const std::vector<double> xs(20, 3.25);
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_DOUBLE_EQ(fit.mean, 3.25);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+  EXPECT_TRUE(fit.accepted);  // zero-variance data is trivially normal
+}
+
+TEST(FitNormal, ConstantSamplesLargeN) {
+  // Large n would normally enter the chi-squared path; zero variance
+  // must still short-circuit to the degenerate acceptance.
+  const std::vector<double> xs(5000, -1.5);
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+  EXPECT_TRUE(fit.accepted);
+  EXPECT_EQ(fit.bins_used, 0u);
+}
+
+TEST(FitNormal, FewerSamplesThanBinCount) {
+  // n = 9 enters the histogram path with sqrt(n)=3 < the 6-bin floor;
+  // pooling must keep the test well-formed (no throw, dof >= 1).
+  std::vector<double> xs;
+  Rng rng(7);
+  for (int i = 0; i < 9; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_GE(fit.dof, 1.0);
+  EXPECT_GE(fit.p_value, 0.0);
+  EXPECT_LE(fit.p_value, 1.0);
+}
+
+TEST(FitNormal, EmptySamplesDoNotThrow) {
+  const NormalFit fit = fit_normal({});
+  EXPECT_DOUBLE_EQ(fit.mean, 0.0);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+}
+
+TEST(FitNormal, NanPropagatesWithoutThrowing) {
+  std::vector<double> xs;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(1.0, 0.3));
+  xs[50] = std::numeric_limits<double>::quiet_NaN();
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_TRUE(std::isnan(fit.mean));
+  EXPECT_TRUE(std::isnan(fit.stddev));
+  EXPECT_FALSE(fit.accepted);
+  EXPECT_DOUBLE_EQ(fit.p_value, 0.0);
+}
+
+TEST(FitNormal, InfinityPropagatesWithoutThrowing) {
+  std::vector<double> xs(32, 0.5);
+  xs[3] = std::numeric_limits<double>::infinity();
+  const NormalFit fit = fit_normal(xs);
+  EXPECT_FALSE(fit.accepted);
+  EXPECT_FALSE(std::isfinite(fit.mean));
 }
 
 TEST(Percentile, InterpolatesSorted) {

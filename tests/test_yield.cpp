@@ -1,0 +1,263 @@
+// Wafer-scale yield subsystem tests: wafer geometry invariants, report
+// consistency, and — the load-bearing contract — BIT-IDENTICAL reports
+// for serial, 1-thread and N-thread runs over a >= 100-die wafer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "io/yield_writers.hpp"
+#include "vi/flow.hpp"
+#include "yield/wafer.hpp"
+#include "yield/yield.hpp"
+
+namespace vipvt {
+namespace {
+
+WaferConfig test_wafer_config() {
+  WaferConfig wc;
+  wc.wafer_diameter_mm = 200.0;  // 120 dies with the 28 mm / 14 mm geometry
+  return wc;
+}
+
+YieldConfig test_yield_config() {
+  YieldConfig yc;
+  yc.mc.samples = 12;  // population stats only need a coarse sketch here
+  yc.seed = 0xd1e5;
+  return yc;
+}
+
+// ---- wafer geometry (no flow needed) --------------------------------------
+
+TEST(WaferModel, StampsAtLeastOneHundredDies) {
+  const WaferModel wafer(test_wafer_config());
+  EXPECT_GE(wafer.num_dies(), 100u);
+  EXPECT_EQ(wafer.dies_per_field_side(), 2);
+}
+
+TEST(WaferModel, DieIdsAreDenseRowMajor) {
+  const WaferModel wafer(test_wafer_config());
+  int prev_row = -1, prev_col = -1;
+  for (std::size_t i = 0; i < wafer.num_dies(); ++i) {
+    const WaferDie& d = wafer.dies()[i];
+    EXPECT_EQ(d.id, static_cast<int>(i));
+    const int row = wafer.grid_row(d), col = wafer.grid_col(d);
+    EXPECT_TRUE(row > prev_row || (row == prev_row && col > prev_col));
+    prev_row = row;
+    prev_col = col;
+  }
+}
+
+TEST(WaferModel, DiesFitInsideUsableRadius) {
+  const WaferConfig wc = test_wafer_config();
+  const WaferModel wafer(wc);
+  const double radius = 0.5 * wc.wafer_diameter_mm - wc.edge_exclusion_mm;
+  const double half_diag = wc.die_mm * std::numbers::sqrt2 * 0.5;
+  for (const WaferDie& d : wafer.dies()) {
+    EXPECT_LE(std::hypot(d.center_mm.x, d.center_mm.y) + half_diag,
+              radius + 1e-9);
+  }
+}
+
+TEST(WaferModel, DieLocationsTileTheExposureField) {
+  const WaferConfig wc = test_wafer_config();
+  const WaferModel wafer(wc);
+  std::set<std::pair<double, double>> field_positions;
+  for (const WaferDie& d : wafer.dies()) {
+    const Point o = d.location.chip_origin_mm;
+    EXPECT_GE(o.x, 0.0);
+    EXPECT_GE(o.y, 0.0);
+    EXPECT_LE(o.x + wc.die_mm, wc.field_mm + 1e-9);
+    EXPECT_LE(o.y + wc.die_mm, wc.field_mm + 1e-9);
+    field_positions.insert({o.x, o.y});
+  }
+  // Every die-grid slot of the reticle occurs somewhere on the wafer.
+  EXPECT_EQ(field_positions.size(),
+            static_cast<std::size_t>(wafer.dies_per_field_side() *
+                                     wafer.dies_per_field_side()));
+}
+
+TEST(WaferModel, AsciiMapRendersEveryDie) {
+  const WaferModel wafer(test_wafer_config());
+  const std::string map = wafer.ascii_map();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(map.begin(), map.end(), '#')),
+            wafer.num_dies());
+}
+
+TEST(WaferModel, RejectsDegenerateConfigs) {
+  WaferConfig wc;
+  wc.die_mm = 0.0;
+  EXPECT_THROW(WaferModel{wc}, std::invalid_argument);
+  wc = WaferConfig{};
+  wc.die_mm = 30.0;  // die larger than the exposure field
+  EXPECT_THROW(WaferModel{wc}, std::invalid_argument);
+}
+
+// ---- yield analysis over the tiny-core flow -------------------------------
+
+FlowConfig tiny_flow_config() {
+  FlowConfig cfg;
+  cfg.vex = VexConfig::tiny();
+  cfg.floorplan.target_utilization = 0.55;
+  cfg.scenario.sweep_points = 6;
+  cfg.scenario.mc.samples = 100;
+  cfg.islands.mc_samples = 80;
+  cfg.sim_cycles = 150;
+  return cfg;
+}
+
+class YieldFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    flow_ = new Flow(tiny_flow_config());
+    flow_->simulate_activity();
+    wafer_ = new WaferModel(test_wafer_config());
+    const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+    ThreadPool pool(4);
+    report_ = new YieldReport(
+        analyzer.analyze(*wafer_, test_yield_config(), &pool));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete wafer_;
+    delete flow_;
+    report_ = nullptr;
+    wafer_ = nullptr;
+    flow_ = nullptr;
+  }
+  static Flow* flow_;
+  static WaferModel* wafer_;
+  static YieldReport* report_;
+};
+
+Flow* YieldFixture::flow_ = nullptr;
+WaferModel* YieldFixture::wafer_ = nullptr;
+YieldReport* YieldFixture::report_ = nullptr;
+
+std::string serialize(const WaferModel& wafer, const YieldReport& report) {
+  std::ostringstream os;
+  write_yield_csv(os, wafer, report);
+  write_yield_json(os, report);
+  return os.str();
+}
+
+TEST_F(YieldFixture, ReportCoversEveryDieConsistently) {
+  ASSERT_EQ(report_->dies.size(), wafer_->num_dies());
+  std::size_t policy_sum = 0;
+  for (const auto c : report_->policy_count) policy_sum += c;
+  EXPECT_EQ(policy_sum, report_->total_dies());
+  EXPECT_GE(report_->parametric_yield(), 0.0);
+  EXPECT_LE(report_->parametric_yield(), 1.0);
+  for (std::size_t i = 0; i < report_->dies.size(); ++i) {
+    const DieOutcome& d = report_->dies[i];
+    EXPECT_EQ(d.die_id, static_cast<int>(i));
+    EXPECT_GT(d.total_mw, 0.0);
+    EXPECT_GT(d.fmax_ghz, 0.0);
+    if (d.policy != TuningPolicy::Discard) EXPECT_TRUE(d.timing_met);
+  }
+}
+
+TEST_F(YieldFixture, WaferReproducesThePaperGradient) {
+  // Dies at the slow field corner (point-A position, field origin) must
+  // demand at least as much compensation as dies at the fast corner
+  // (point-D position) — the wafer-scale restatement of Fig. 3/4.
+  RunningStats slow_islands, fast_islands;
+  const double die = report_->wafer.die_mm;
+  for (const DieOutcome& d : report_->dies) {
+    const WaferDie& g = wafer_->dies()[static_cast<std::size_t>(d.die_id)];
+    const int raised = d.policy == TuningPolicy::ChipWideHigh
+                           ? flow_->island_plan().num_islands() + 1
+                           : d.islands_raised;
+    if (g.location.chip_origin_mm.x < die * 0.5 &&
+        g.location.chip_origin_mm.y < die * 0.5) {
+      slow_islands.add(raised);
+    } else if (g.location.chip_origin_mm.x > die * 0.5 &&
+               g.location.chip_origin_mm.y > die * 0.5) {
+      fast_islands.add(raised);
+    }
+  }
+  ASSERT_GT(slow_islands.count(), 0u);
+  ASSERT_GT(fast_islands.count(), 0u);
+  EXPECT_GE(slow_islands.mean(), fast_islands.mean());
+}
+
+TEST_F(YieldFixture, IslandActivationMatchesPolicyCounts) {
+  std::size_t activation_sum = 0;
+  for (const auto c : report_->island_activation) activation_sum += c;
+  EXPECT_EQ(activation_sum, report_->count(TuningPolicy::AllLow) +
+                                report_->count(TuningPolicy::NestedIslands));
+  EXPECT_EQ(report_->island_activation.size(),
+            static_cast<std::size_t>(flow_->island_plan().num_islands()) + 1);
+}
+
+TEST_F(YieldFixture, SpeedBinsPartitionShippedDies) {
+  std::size_t binned = 0;
+  for (const auto c : report_->speed_bin_count) binned += c;
+  EXPECT_EQ(binned, report_->fmax_ghz.count());
+  EXPECT_EQ(report_->fmax_ghz.count(), report_->shipped_dies());
+}
+
+TEST_F(YieldFixture, PolicyGlyphsMatchAsciiMap) {
+  const std::string glyphs = report_->policy_glyphs();
+  ASSERT_EQ(glyphs.size(), wafer_->num_dies());
+  const std::string map = wafer_->ascii_map(glyphs);
+  for (char g : glyphs) {
+    EXPECT_NE(map.find(g), std::string::npos);
+  }
+}
+
+// The acceptance contract: report is bit-identical for 1-thread and
+// N-thread runs (and for the no-pool serial path).  Compared through the
+// deterministic writers, so formatting ties the whole chain down.
+TEST_F(YieldFixture, ReportBitIdenticalAcrossThreadCounts) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  ThreadPool one(1);
+  const YieldReport serial =
+      analyzer.analyze(*wafer_, test_yield_config(), nullptr);
+  const YieldReport one_thread =
+      analyzer.analyze(*wafer_, test_yield_config(), &one);
+  const std::string parallel_txt = serialize(*wafer_, *report_);  // 4 threads
+  EXPECT_EQ(serialize(*wafer_, serial), parallel_txt);
+  EXPECT_EQ(serialize(*wafer_, one_thread), parallel_txt);
+}
+
+TEST_F(YieldFixture, CsvHasOneRowPerDie) {
+  std::ostringstream os;
+  write_yield_csv(os, *wafer_, *report_);
+  const std::string csv = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            wafer_->num_dies() + 1);  // header + rows
+}
+
+TEST_F(YieldFixture, JsonIsWellFormedEnoughToGrep) {
+  std::ostringstream os;
+  write_yield_json(os, *report_);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"parametric_yield\""), std::string::npos);
+  EXPECT_NE(json.find("\"island_activation\""), std::string::npos);
+  EXPECT_NE(json.find("\"speed_bins\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(YieldGuards, FromFlowRequiresSensorsAndActivity) {
+  Flow flow(tiny_flow_config());
+  EXPECT_FALSE(flow.characterized());
+  EXPECT_FALSE(flow.sensors_planned());
+  EXPECT_FALSE(flow.activity_simulated());
+  EXPECT_THROW(YieldAnalyzer::from_flow(flow), std::logic_error);
+  flow.characterize();
+  EXPECT_TRUE(flow.characterized());
+  EXPECT_FALSE(flow.islands_generated());
+  EXPECT_THROW(YieldAnalyzer::from_flow(flow), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vipvt
