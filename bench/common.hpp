@@ -5,6 +5,9 @@
 // library), differing only in the voltage-island slicing direction.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
@@ -38,6 +41,37 @@ inline std::unique_ptr<Flow> make_flow(SliceDir dir = SliceDir::Vertical,
     flow->simulate_activity();  // runs the whole pipeline
   }
   return flow;
+}
+
+/// Integer argv option of the form `--name N` (e.g. `--samples 256` for
+/// the CI smoke budget).  Returns `fallback` when absent.
+inline int arg_int(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+/// Where a bench's BENCH_*.json belongs.  Benches run from the build
+/// tree, but the JSON artifacts are committed at the repo root so the
+/// perf trajectory is tracked across PRs — writing next to the binary
+/// silently drops them into the (ignored) build directory.  Resolution:
+/// an explicit `--out PATH` wins; otherwise walk up from the current
+/// directory to the first directory containing ROADMAP.md (the repo
+/// marker); fall back to the current directory.
+inline std::string out_path(int argc, char** argv,
+                            const std::string& filename) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) return argv[i + 1];
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::path d = fs::current_path(ec); !ec && !d.empty();
+       d = d.parent_path()) {
+    if (fs::exists(d / "ROADMAP.md", ec)) return (d / filename).string();
+    if (d == d.root_path()) break;
+  }
+  return filename;
 }
 
 inline void print_header(const char* id, const char* title) {

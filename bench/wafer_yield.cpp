@@ -20,7 +20,7 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vipvt;
   using clock = std::chrono::steady_clock;
   bench::print_header("Wafer yield", "virtual fab throughput, serial vs pool");
@@ -109,7 +109,7 @@ int main() {
   out.set("parametric_yield", serial_report.parametric_yield());
   const unsigned hw = std::thread::hardware_concurrency();
   out.set("hardware_threads", hw);
-  out.write("BENCH_wafer.json");
+  out.write(bench::out_path(argc, argv, "BENCH_wafer.json"));
 
   // The 2x-at-4-threads target only makes sense with >= 4 real cores; on
   // smaller machines we still verified determinism above, which is the

@@ -10,6 +10,36 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 }
 
+/// Lane arithmetic is exactly the scalar kernel's `from + base * factor`
+/// / max update, so any unrolling or vectorization of the loop nest
+/// leaves results bit-identical (no cross-lane reassociation exists to
+/// exploit).  The unconditional max (instead of the scalar path's
+/// compare-and-store) plus __restrict on the three row pointers is what
+/// lets the compiler emit straight-line vector max code; a -inf source
+/// lane yields a -inf candidate that never wins, matching the scalar
+/// skip.
+template <std::size_t kWidth>
+void StaEngine::relax_edges(std::span<const Edge> edges,
+                            const double* factor_soa, double* arrival_soa,
+                            std::size_t width) {
+  const std::size_t w = kWidth == 0 ? width : kWidth;
+  for (const Edge& e : edges) {
+    const double base = static_cast<double>(e.base_delay);
+    const double* __restrict from = arrival_soa + e.from * w;
+    double* __restrict to = arrival_soa + e.to * w;
+    if (e.inst == kInvalidInst) {
+      for (std::size_t b = 0; b < w; ++b) {
+        to[b] = std::max(to[b], from[b] + base);
+      }
+    } else {
+      const double* __restrict f = factor_soa + e.inst * w;
+      for (std::size_t b = 0; b < w; ++b) {
+        to[b] = std::max(to[b], from[b] + base * f[b]);
+      }
+    }
+  }
+}
+
 StaEngine::StaEngine(const Design& design, const StaOptions& opts)
     : design_(&design), opts_(opts) {
   build_graph();
@@ -279,21 +309,118 @@ StaResult StaEngine::analyze(std::span<const double> inst_factor) const {
     res.endpoint_slack[k] = slack;
     res.wns = std::min(res.wns, slack);
     if (slack < 0.0 && std::isfinite(slack)) res.tns += slack;
+    if (std::isfinite(slack)) {
+      res.min_period_ns =
+          std::max(res.min_period_ns, opts_.clock_period_ns - slack);
+    }
     auto& sw = res.stage_wns[static_cast<std::size_t>(endpoints_[k].stage)];
     sw = std::min(sw, slack);
   }
   return res;
 }
 
-double StaEngine::min_period(std::span<const double> inst_factor) const {
-  const StaResult res = analyze(inst_factor);
-  double min_t = 0.0;
-  for (std::size_t k = 0; k < endpoints_.size(); ++k) {
-    if (!std::isfinite(res.endpoint_slack[k])) continue;
-    min_t =
-        std::max(min_t, opts_.clock_period_ns - res.endpoint_slack[k]);
+void StaEngine::analyze_batch(std::span<const std::vector<double>> inst_factor,
+                              std::span<StaResult> results) const {
+  const std::size_t width = inst_factor.size();
+  if (results.size() != width) {
+    throw std::invalid_argument("analyze_batch: factor/result size mismatch");
   }
-  return min_t;
+  if (width == 0) return;
+  const std::size_t num_inst = design_->num_instances();
+
+  // Pack per-sample factor vectors into SoA lanes: factor_soa_[i*W + b].
+  // An empty lane stays at the nominal 1.0 (== analyze({})).  Instance-
+  // major transpose order: each i writes one contiguous W-row while
+  // reading one element from each lane — W sequential read streams
+  // instead of W strided write passes over the whole array.
+  const double* lane_ptr[64];
+  std::size_t lanes_capped = std::min<std::size_t>(width, 64);
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::vector<double>& f = inst_factor[b];
+    if (!f.empty() && f.size() < num_inst) {
+      throw std::invalid_argument("analyze_batch: short factor vector");
+    }
+    if (b < lanes_capped) lane_ptr[b] = f.empty() ? nullptr : f.data();
+  }
+  factor_soa_.resize(num_inst * width);
+  if (width <= lanes_capped) {
+    for (std::size_t i = 0; i < num_inst; ++i) {
+      double* row = &factor_soa_[i * width];
+      for (std::size_t b = 0; b < width; ++b) {
+        row[b] = lane_ptr[b] == nullptr ? 1.0 : lane_ptr[b][i];
+      }
+    }
+  } else {  // very wide batches: the simple lane-major fallback
+    std::fill(factor_soa_.begin(), factor_soa_.end(), 1.0);
+    for (std::size_t b = 0; b < width; ++b) {
+      const std::vector<double>& f = inst_factor[b];
+      if (f.empty()) continue;
+      for (std::size_t i = 0; i < num_inst; ++i) {
+        factor_soa_[i * width + b] = f[i];
+      }
+    }
+  }
+  arrival_soa_.assign(static_cast<std::size_t>(node_count_) * width, kNegInf);
+
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    const double base = static_cast<double>(launch_base_[li]);
+    double* a = &arrival_soa_[static_cast<std::size_t>(launch_nodes_[li]) * width];
+    if (i == kInvalidInst) {
+      for (std::size_t b = 0; b < width; ++b) a[b] = std::max(a[b], base);
+    } else {
+      const double* f = &factor_soa_[static_cast<std::size_t>(i) * width];
+      for (std::size_t b = 0; b < width; ++b) {
+        a[b] = std::max(a[b], base * f[b]);
+      }
+    }
+  }
+
+  // One graph traversal for the whole batch.  No pred-edge bookkeeping
+  // in batch mode.  Common widths get a compile-time lane count (fully
+  // unrolled vector code); anything else takes the runtime-width path —
+  // all widths run the identical per-lane arithmetic.
+  switch (width) {
+    case 4: relax_edges<4>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
+    case 8: relax_edges<8>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
+    case 16: relax_edges<16>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
+    default: relax_edges<0>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
+  }
+
+  // Per-lane endpoint extraction, identical arithmetic (and endpoint
+  // order) to the scalar path.
+  for (std::size_t b = 0; b < width; ++b) {
+    // Reset every StaResult field explicitly (rather than assigning a
+    // fresh StaResult{}) so a reused results[b] keeps its
+    // endpoint_slack allocation across batches.
+    StaResult& res = results[b];
+    res.clock_period_ns = opts_.clock_period_ns;
+    res.wns = std::numeric_limits<double>::infinity();
+    res.tns = 0.0;
+    res.min_period_ns = 0.0;
+    res.stage_wns.fill(std::numeric_limits<double>::infinity());
+    res.endpoint_slack.resize(endpoints_.size());
+    for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+      const double a =
+          arrival_soa_[static_cast<std::size_t>(endpoints_[k].node) * width + b];
+      const double slack = a == kNegInf
+                               ? std::numeric_limits<double>::infinity()
+                               : opts_.clock_period_ns - endpoint_setup_[k] - a;
+      res.endpoint_slack[k] = slack;
+      res.wns = std::min(res.wns, slack);
+      if (slack < 0.0 && std::isfinite(slack)) res.tns += slack;
+      if (std::isfinite(slack)) {
+        res.min_period_ns =
+            std::max(res.min_period_ns, opts_.clock_period_ns - slack);
+      }
+      auto& sw = res.stage_wns[static_cast<std::size_t>(endpoints_[k].stage)];
+      sw = std::min(sw, slack);
+    }
+  }
+}
+
+double StaEngine::min_period(std::span<const double> inst_factor) const {
+  return analyze(inst_factor).min_period_ns;
 }
 
 std::vector<double> StaEngine::instance_slack(

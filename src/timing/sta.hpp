@@ -46,6 +46,12 @@ struct StaResult {
   double clock_period_ns = 0.0;
   double wns = std::numeric_limits<double>::infinity();  ///< worst slack
   double tns = 0.0;                                      ///< total negative
+  /// Minimum achievable clock period: max over constrained endpoints of
+  /// (arrival + setup), i.e. clock_period_ns - slack.  Computed in the
+  /// same endpoint pass that produces the slacks, so consumers
+  /// (StaEngine::min_period, the Monte-Carlo speed-bin metric) never
+  /// rescan the endpoint list.
+  double min_period_ns = 0.0;
   std::array<double, kNumPipeStages> stage_wns{};        ///< per stage
   std::vector<double> endpoint_slack;  ///< aligned with StaEngine::endpoints()
 
@@ -97,6 +103,18 @@ class StaEngine {
   /// instance i by inst_factor[i]; pass {} for the nominal (all-ones) run.
   StaResult analyze(std::span<const double> inst_factor = {}) const;
 
+  /// Batched annotated analysis: results[b] is bit-identical to
+  /// analyze(inst_factor[b]) for every lane b (an empty lane vector means
+  /// nominal).  Arrival times are laid out structure-of-arrays —
+  /// arrival[node][lane] — so one pass over the timing graph propagates
+  /// all lanes: edge metadata is fetched once per edge instead of once
+  /// per edge per sample, and the per-lane inner loop is a contiguous
+  /// vectorizable max-plus update.  This is the Monte-Carlo SSTA hot
+  /// kernel.  No-trace mode: pred-edge bookkeeping is skipped entirely,
+  /// so trace_from_last_analysis() must not be used after this call.
+  void analyze_batch(std::span<const std::vector<double>> inst_factor,
+                     std::span<StaResult> results) const;
+
   const std::vector<Endpoint>& endpoints() const { return endpoints_; }
 
   /// Critical path to the given endpoint under the provided factors
@@ -145,6 +163,15 @@ class StaEngine {
   void build_graph();
   double wire_length(NetId net) const;
 
+  /// Batched edge relaxation over SoA lanes (analyze_batch's hot loop).
+  /// kWidth > 0 bakes the lane count into the loop trip count so the
+  /// compiler fully unrolls/vectorizes it; kWidth == 0 is the
+  /// runtime-width fallback.  Identical per-lane arithmetic either way.
+  template <std::size_t kWidth>
+  static void relax_edges(std::span<const Edge> edges,
+                          const double* factor_soa, double* arrival_soa,
+                          std::size_t width);
+
   const Design* design_;
   StaOptions opts_;
 
@@ -166,6 +193,9 @@ class StaEngine {
   // Scratch reused across analyze() calls (sized once).
   mutable std::vector<double> arrival_;
   mutable std::vector<std::int32_t> pred_edge_;
+  // Batch scratch (SoA lanes), grown on demand by analyze_batch().
+  mutable std::vector<double> arrival_soa_;  // node_count_ * batch
+  mutable std::vector<double> factor_soa_;   // num_instances * batch
 };
 
 }  // namespace vipvt

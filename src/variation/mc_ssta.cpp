@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "util/parallel.hpp"
 
 namespace vipvt {
 
@@ -26,46 +31,127 @@ MonteCarloSsta::MonteCarloSsta(const Design& design, const StaEngine& sta,
                                const VariationModel& model)
     : design_(&design), sta_(&sta), model_(&model) {}
 
-McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg) const {
+namespace {
+
+/// Worker-local state of the sampling loop: an engine clone (mutable
+/// scratch), lane buffers for `width` samples, and per-endpoint tallies.
+/// Tallies are unsigned counts so the cross-worker merge is exact
+/// integer addition — bit-identical no matter which worker counted what.
+struct McWorker {
+  explicit McWorker(const StaEngine& sta, int width, std::size_t num_eps)
+      : engine(sta), factors(static_cast<std::size_t>(width)),
+        results(static_cast<std::size_t>(width)), crit(num_eps, 0),
+        stage_crit(num_eps, 0) {}
+
+  StaEngine engine;
+  std::vector<std::vector<double>> factors;
+  std::vector<StaResult> results;
+  std::vector<std::uint32_t> crit;        ///< samples with slack < 0
+  std::vector<std::uint32_t> stage_crit;  ///< samples setting stage WNS
+};
+
+}  // namespace
+
+McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
+                             ThreadPool* pool) const {
   McResult result;
   result.samples = cfg.samples;
   for (int s = 0; s < kNumPipeStages; ++s) {
     result.stages[s].stage = static_cast<PipeStage>(s);
-    result.stages[s].samples.reserve(static_cast<std::size_t>(cfg.samples));
+    result.stages[s].samples.reserve(
+        static_cast<std::size_t>(std::max(cfg.samples, 0)));
   }
   const auto& endpoints = sta_->endpoints();
-  result.endpoint_crit_prob.assign(endpoints.size(), 0.0);
-  result.endpoint_stage_crit.assign(endpoints.size(), 0);
-  result.min_period_samples.reserve(static_cast<std::size_t>(cfg.samples));
+  const std::size_t num_eps = endpoints.size();
+  result.endpoint_crit_prob.assign(num_eps, 0.0);
+  result.endpoint_stage_crit.assign(num_eps, 0);
+  if (cfg.samples <= 0) return result;
+  const auto num_samples = static_cast<std::size_t>(cfg.samples);
+  const int width = std::max(cfg.batch, 1);
+  result.min_period_samples.reserve(num_samples);
 
-  Rng rng(cfg.seed);
-  std::vector<double> factors;
-  for (int k = 0; k < cfg.samples; ++k) {
-    Rng sample_rng = rng.fork();
-    model_->draw_factors(*design_, *sta_, loc, sample_rng, factors);
-    const StaResult sr = sta_->analyze(factors);
+  // The systematic Lgate component is sample-invariant: evaluate the
+  // exposure-field polynomial once per run, not once per gate per sample.
+  const std::vector<double> systematic =
+      model_->systematic_lgates(*design_, loc);
 
+  // Pre-sized per-sample slots; workers only ever write their own
+  // indices, so the thread schedule cannot reach the output.
+  std::vector<std::array<double, kNumPipeStages>> stage_wns(num_samples);
+  std::vector<double> min_period(num_samples);
+
+  std::mutex workers_mu;
+  std::vector<std::shared_ptr<McWorker>> workers;
+  auto make_worker = [&] {
+    auto w = std::make_shared<McWorker>(*sta_, width, num_eps);
+    const std::lock_guard<std::mutex> lock(workers_mu);
+    workers.push_back(w);
+    return w;
+  };
+
+  const std::size_t num_batches =
+      (num_samples + static_cast<std::size_t>(width) - 1) /
+      static_cast<std::size_t>(width);
+  auto process_batch = [&](McWorker& w, std::size_t bi) {
+    const std::size_t first = bi * static_cast<std::size_t>(width);
+    const std::size_t lanes =
+        std::min<std::size_t>(static_cast<std::size_t>(width),
+                              num_samples - first);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      Rng rng(substream_seed(cfg.seed, first + l));
+      model_->draw_factors(*design_, w.engine, systematic, rng, w.factors[l]);
+    }
+    if (width == 1) {
+      w.results[0] = w.engine.analyze(w.factors[0]);
+    } else {
+      w.engine.analyze_batch(std::span(w.factors).first(lanes),
+                             std::span(w.results).first(lanes));
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const StaResult& sr = w.results[l];
+      stage_wns[first + l] = sr.stage_wns;
+      min_period[first + l] = sr.min_period_ns;
+      for (std::size_t epi = 0; epi < num_eps; ++epi) {
+        const double slack = sr.endpoint_slack[epi];
+        if (!std::isfinite(slack)) continue;
+        if (slack < 0.0) ++w.crit[epi];
+        const double swns =
+            sr.stage_wns[static_cast<std::size_t>(endpoints[epi].stage)];
+        if (slack <= swns + 1e-12) ++w.stage_crit[epi];
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    parallel_for(*pool, num_batches, make_worker,
+                 [&](std::shared_ptr<McWorker>& w, std::size_t bi) {
+                   process_batch(*w, bi);
+                 });
+  } else {
+    const auto w = make_worker();
+    for (std::size_t bi = 0; bi < num_batches; ++bi) process_batch(*w, bi);
+  }
+
+  // Serial aggregation in sample order (vector outputs), plus the exact
+  // integer merge of the per-worker endpoint tallies.
+  for (std::size_t k = 0; k < num_samples; ++k) {
     for (int s = 0; s < kNumPipeStages; ++s) {
-      const double wns = sr.stage_wns[static_cast<std::size_t>(s)];
+      const double wns = stage_wns[k][static_cast<std::size_t>(s)];
       if (std::isfinite(wns)) {
         result.stages[s].present = true;
         result.stages[s].samples.push_back(wns);
       }
     }
-    double min_t = 0.0;
-    for (std::size_t epi = 0; epi < endpoints.size(); ++epi) {
-      const double slack = sr.endpoint_slack[epi];
-      if (!std::isfinite(slack)) continue;
-      if (slack < 0.0) result.endpoint_crit_prob[epi] += 1.0;
-      const double stage_wns =
-          sr.stage_wns[static_cast<std::size_t>(endpoints[epi].stage)];
-      if (slack <= stage_wns + 1e-12) ++result.endpoint_stage_crit[epi];
-      min_t = std::max(min_t, sr.clock_period_ns - slack);
+    result.min_period_samples.push_back(min_period[k]);
+  }
+  for (const auto& w : workers) {
+    for (std::size_t epi = 0; epi < num_eps; ++epi) {
+      result.endpoint_crit_prob[epi] += static_cast<double>(w->crit[epi]);
+      result.endpoint_stage_crit[epi] += w->stage_crit[epi];
     }
-    result.min_period_samples.push_back(min_t);
   }
 
-  const double inv_n = cfg.samples > 0 ? 1.0 / cfg.samples : 0.0;
+  const double inv_n = 1.0 / static_cast<double>(num_samples);
   for (auto& p : result.endpoint_crit_prob) p *= inv_n;
   for (int s = 0; s < kNumPipeStages; ++s) {
     auto& sd = result.stages[s];

@@ -18,10 +18,17 @@
 
 namespace vipvt {
 
+class ThreadPool;
+
 struct McConfig {
   int samples = 500;
   std::uint64_t seed = 0x55aa55aa;
   double confidence = 0.95;  ///< for the normality test
+  /// Samples propagated per StaEngine::analyze_batch() call.  1 selects
+  /// the scalar analyze() kernel (the pre-batching baseline); any width
+  /// yields a bit-identical McResult — the batch is a pure layout
+  /// optimization (asserted in tests/test_variation.cpp).
+  int batch = 8;
 };
 
 /// Distribution of one pipeline stage's worst slack across MC samples.
@@ -68,7 +75,17 @@ class MonteCarloSsta {
   /// Runs `cfg.samples` draws for a core at `loc`.  The STA engine's
   /// current base delays (supply corners) are used as-is — call
   /// StaEngine::compute_base first when analyzing an island configuration.
-  McResult run(const DieLocation& loc, const McConfig& cfg) const;
+  ///
+  /// Sample k's randomness derives from substream_seed(cfg.seed, k) —
+  /// a function of the sample index alone — and every per-sample output
+  /// lands in a pre-sized index slot, so the result is BIT-IDENTICAL
+  /// for the serial path (`pool == nullptr`) and any thread count.
+  /// Per-endpoint criticality tallies are integer counts merged across
+  /// workers (integer addition commutes exactly).  Samples are drawn
+  /// against a per-run precomputed systematic-Lgate map and propagated
+  /// `cfg.batch` at a time through StaEngine::analyze_batch.
+  McResult run(const DieLocation& loc, const McConfig& cfg,
+               ThreadPool* pool = nullptr) const;
 
  private:
   const Design* design_;

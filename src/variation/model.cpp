@@ -43,7 +43,16 @@ double CorrelatedField::at(Point pos_um) const {
 VariationModel::VariationModel(const CharParams& cp, const ExposureField& field,
                                const VariationConfig& cfg)
     : cp_(cp), field_(&field), cfg_(cfg),
-      sigma_rnd_(cfg.three_sigma_random_frac / 3.0 * cp.lgate_nom) {}
+      sigma_rnd_(cfg.three_sigma_random_frac / 3.0 * cp.lgate_nom) {
+  for (int corner : {kVddLow, kVddHigh}) {
+    for (int v = 0; v < kNumVthClasses; ++v) {
+      nominal_raw_delay_[static_cast<std::size_t>(corner)]
+                        [static_cast<std::size_t>(v)] =
+          cp_.raw_delay(cp_.lgate_nom, vdd_of_corner(corner),
+                        cp_.vth0_of(static_cast<VthClass>(v)));
+    }
+  }
+}
 
 double VariationModel::sigma_correlated_nm() const {
   return sigma_rnd_ * std::sqrt(cfg_.correlated_fraction);
@@ -84,7 +93,11 @@ double VariationModel::sample_lgate(Point cell_pos_um, const DieLocation& loc,
 
 double VariationModel::delay_factor(double lgate_nm, int corner,
                                     VthClass vth) const {
-  return cp_.delay_factor(lgate_nm, vdd_of_corner(corner), cp_.vth0_of(vth));
+  // Same quotient as CharParams::delay_factor, with the nominal
+  // denominator read from the constructor-time cache.
+  const std::size_t c = corner == kVddHigh ? 1 : 0;
+  return cp_.raw_delay(lgate_nm, vdd_of_corner(corner), cp_.vth0_of(vth)) /
+         nominal_raw_delay_[c][static_cast<std::size_t>(vth)];
 }
 
 double VariationModel::leakage_factor(double lgate_nm, int corner) const {
@@ -94,17 +107,46 @@ double VariationModel::leakage_factor(double lgate_nm, int corner) const {
 std::vector<double>& VariationModel::draw_factors(
     const Design& design, const StaEngine& sta, const DieLocation& loc,
     Rng& rng, std::vector<double>& factors) const {
-  factors.resize(design.num_instances());
-  const CorrelatedField field = draw_field(rng);
-  const CorrelatedField* fp = field.active() ? &field : nullptr;
+  const std::vector<double> systematic = systematic_lgates(design, loc);
+  return draw_factors(design, sta, systematic, rng, factors);
+}
+
+std::vector<double> VariationModel::systematic_lgates(
+    const Design& design, const DieLocation& loc) const {
+  std::vector<double> lgate(design.num_instances());
   for (InstId i = 0; i < design.num_instances(); ++i) {
     const Instance& inst = design.instance(i);
     if (!inst.placed) {
-      throw std::logic_error("draw_factors: unplaced instance " + inst.name);
+      throw std::logic_error("systematic_lgates: unplaced instance " +
+                             inst.name);
     }
-    const double lgate = sample_lgate(inst.pos, loc, rng, fp);
-    factors[i] =
-        delay_factor(lgate, sta.inst_corner(i), design.cell_of(i).vth);
+    lgate[i] = systematic_lgate(inst.pos, loc);
+  }
+  return lgate;
+}
+
+std::vector<double>& VariationModel::draw_factors(
+    const Design& design, const StaEngine& sta,
+    std::span<const double> systematic_lgate_nm, Rng& rng,
+    std::vector<double>& factors) const {
+  if (systematic_lgate_nm.size() < design.num_instances()) {
+    throw std::invalid_argument("draw_factors: short systematic map");
+  }
+  factors.resize(design.num_instances());
+  const CorrelatedField field = draw_field(rng);
+  const bool correlated = field.active();
+  const double sigma_ind = sigma_independent_nm();
+  const double clamp = cfg_.clamp_sigma * sigma_rnd_;
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    // Mirrors sample_lgate() draw-for-draw (same RNG consumption, same
+    // clamp), with the systematic term read from the precomputed map.
+    double eps = correlated
+                     ? field.at(design.instance(i).pos) +
+                           rng.normal(0.0, sigma_ind)
+                     : rng.normal(0.0, sigma_rnd_);
+    eps = std::clamp(eps, -clamp, clamp);
+    factors[i] = delay_factor(systematic_lgate_nm[i] + eps,
+                              sta.inst_corner(i), design.cell_of(i).vth);
   }
   return factors;
 }

@@ -10,6 +10,8 @@
 // multiplier through the alpha-power law with DIBL (Eqs. 3-4), evaluated
 // at the supply voltage of the gate's island.
 
+#include <array>
+#include <span>
 #include <vector>
 
 #include "liberty/physics.hpp"
@@ -100,11 +102,33 @@ class VariationModel {
                                     const DieLocation& loc, Rng& rng,
                                     std::vector<double>& factors) const;
 
+  /// The sample-invariant half of a draw: the systematic exposure-field
+  /// polynomial evaluated at every placed instance of a core at `loc`.
+  /// Monte-Carlo runs evaluate this once per (die, location) and then
+  /// draw thousands of samples against it; re-evaluating it per sample
+  /// (what the DieLocation draw_factors overload does) is pure waste —
+  /// it costs five multiplies and a clamp per gate per sample.
+  std::vector<double> systematic_lgates(const Design& design,
+                                        const DieLocation& loc) const;
+
+  /// Hot-path draw against a precomputed systematic map (one entry per
+  /// instance, from systematic_lgates()).  Consumes the same RNG stream
+  /// and produces bit-identical factors to the DieLocation overload.
+  std::vector<double>& draw_factors(const Design& design, const StaEngine& sta,
+                                    std::span<const double> systematic_lgate_nm,
+                                    Rng& rng,
+                                    std::vector<double>& factors) const;
+
  private:
   CharParams cp_;
   const ExposureField* field_;
   VariationConfig cfg_;
   double sigma_rnd_;  // nm
+  /// raw_delay at nominal Lgate per (corner, Vth class): the
+  /// denominator of every delay_factor(), hoisted out of the per-gate
+  /// per-sample loop (it halves the pow() count of a Monte-Carlo draw;
+  /// the quotient is bitwise unchanged since the operands are).
+  std::array<std::array<double, kNumVthClasses>, 2> nominal_raw_delay_{};
 };
 
 }  // namespace vipvt

@@ -10,6 +10,9 @@
 //   1. Monte-Carlo SSTA at the die's field location, all-low supply —
 //      the die's *population* timing statistics (severity per the
 //      3-sigma criterion, achievable-fmax distribution for speed bins).
+//      Runs on the batched analyze_batch kernel (YieldConfig::mc.batch
+//      lanes per graph traversal); dies are already spread across the
+//      pool, so per-die sampling stays on the worker's own thread.
 //   2. Fabricate one virtual chip (concrete per-gate Lgate map) — this
 //      wafer's actual silicon at that location.
 //   3. Post-silicon tuning-policy selection, reusing the
@@ -57,7 +60,8 @@ char tuning_policy_glyph(TuningPolicy p, int islands_raised);
 
 struct YieldConfig {
   /// Per-die Monte-Carlo SSTA; mc.seed is ignored (derived per die from
-  /// `seed` so results never depend on scheduling).
+  /// `seed` so results never depend on scheduling).  mc.batch picks the
+  /// analyze_batch width of the per-die hot loop (any width, same bits).
   McConfig mc{.samples = 48, .seed = 0, .confidence = 0.95};
   std::uint64_t seed = 0x5afe57a7eULL;
   /// Speed bin metric: the die's achievable clock is this percentile of

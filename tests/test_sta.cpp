@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "netlist/builder.hpp"
 #include "netlist/vex.hpp"
 #include "placement/placer.hpp"
 #include "timing/sta.hpp"
+#include "util/rng.hpp"
 
 namespace vipvt {
 namespace {
@@ -202,6 +205,83 @@ TEST(StaVex, TighterClockGoesNegative) {
   const StaResult res = sta.analyze();
   EXPECT_LT(res.wns, 0.0);
   EXPECT_LT(res.tns, 0.0);
+}
+
+TEST(StaVex, MinPeriodMatchesAnalyzeField) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  const StaResult res = sta.analyze();
+  EXPECT_EQ(sta.min_period(), res.min_period_ns);
+  // All endpoints constrained here, so min period == clock - WNS exactly
+  // (both are the same max scan over the same slacks).
+  EXPECT_EQ(res.min_period_ns, res.clock_period_ns - res.wns);
+}
+
+/// The batched SoA kernel is a pure execution-layout change: every lane
+/// of analyze_batch must reproduce the corresponding scalar analyze()
+/// call bit-for-bit, on every StaResult field.
+TEST(StaVex, AnalyzeBatchBitIdenticalToScalar) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  sta.set_clock_period(sta.min_period() * 1.005);
+
+  Rng rng(0xbeefcafeULL);
+  // Width 11 exercises the runtime-width fallback; a second pass over
+  // the first 8 lanes exercises the fixed-width kernel.  Lane 5 is empty
+  // (= nominal factors), a supported input.
+  std::vector<std::vector<double>> lanes(11);
+  for (std::size_t b = 0; b < lanes.size(); ++b) {
+    if (b == 5) continue;
+    lanes[b].resize(d.num_instances());
+    for (auto& f : lanes[b]) f = rng.uniform(0.9, 1.15);
+  }
+
+  for (std::size_t width : {lanes.size(), std::size_t{8}}) {
+    std::vector<StaResult> batch(width);
+    sta.analyze_batch(std::span(lanes).first(width), std::span(batch));
+    for (std::size_t b = 0; b < width; ++b) {
+      const StaResult scalar = sta.analyze(lanes[b]);
+      EXPECT_EQ(batch[b].clock_period_ns, scalar.clock_period_ns);
+      EXPECT_EQ(batch[b].wns, scalar.wns) << "lane " << b;
+      EXPECT_EQ(batch[b].tns, scalar.tns) << "lane " << b;
+      EXPECT_EQ(batch[b].min_period_ns, scalar.min_period_ns) << "lane " << b;
+      for (std::size_t s = 0; s < kNumPipeStages; ++s) {
+        EXPECT_EQ(batch[b].stage_wns[s], scalar.stage_wns[s])
+            << "lane " << b << " stage " << s;
+      }
+      ASSERT_EQ(batch[b].endpoint_slack.size(), scalar.endpoint_slack.size());
+      for (std::size_t k = 0; k < scalar.endpoint_slack.size(); ++k) {
+        EXPECT_EQ(batch[b].endpoint_slack[k], scalar.endpoint_slack[k])
+            << "lane " << b << " endpoint " << k;
+      }
+    }
+  }
+}
+
+TEST(StaVex, AnalyzeBatchRejectsBadInput) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+
+  std::vector<std::vector<double>> lanes(2);
+  std::vector<StaResult> wrong_size(3);
+  EXPECT_THROW(sta.analyze_batch(std::span(lanes), std::span(wrong_size)),
+               std::invalid_argument);
+  std::vector<StaResult> results(2);
+  lanes[0].assign(3, 1.0);  // shorter than num_instances
+  EXPECT_THROW(sta.analyze_batch(std::span(lanes), std::span(results)),
+               std::invalid_argument);
 }
 
 TEST(StaVex, MonotoneUnderUniformSlowdown) {

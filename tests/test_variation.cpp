@@ -8,6 +8,7 @@
 
 #include "netlist/vex.hpp"
 #include "placement/placer.hpp"
+#include "util/parallel.hpp"
 #include "variation/field.hpp"
 #include "variation/mc_ssta.hpp"
 #include "variation/model.hpp"
@@ -217,6 +218,68 @@ TEST_F(McFixture, DeterministicForSeed) {
   const auto& s2 = r2.stage(PipeStage::Execute).samples;
   ASSERT_EQ(s1.size(), s2.size());
   for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i], s2[i]);
+}
+
+/// Asserts two McResults are bit-identical on every field they carry.
+void expect_identical(const McResult& a, const McResult& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  for (int s = 0; s < kNumPipeStages; ++s) {
+    const auto& sa = a.stages[static_cast<std::size_t>(s)];
+    const auto& sb = b.stages[static_cast<std::size_t>(s)];
+    EXPECT_EQ(sa.present, sb.present) << "stage " << s;
+    EXPECT_EQ(sa.min_slack, sb.min_slack) << "stage " << s;
+    EXPECT_EQ(sa.max_slack, sb.max_slack) << "stage " << s;
+    EXPECT_EQ(sa.fit.mean, sb.fit.mean) << "stage " << s;
+    EXPECT_EQ(sa.fit.stddev, sb.fit.stddev) << "stage " << s;
+    EXPECT_EQ(sa.fit.chi2, sb.fit.chi2) << "stage " << s;
+    EXPECT_EQ(sa.fit.p_value, sb.fit.p_value) << "stage " << s;
+    EXPECT_EQ(sa.fit.accepted, sb.fit.accepted) << "stage " << s;
+    ASSERT_EQ(sa.samples.size(), sb.samples.size()) << "stage " << s;
+    for (std::size_t i = 0; i < sa.samples.size(); ++i) {
+      EXPECT_EQ(sa.samples[i], sb.samples[i]) << "stage " << s << " @" << i;
+    }
+  }
+  ASSERT_EQ(a.endpoint_crit_prob.size(), b.endpoint_crit_prob.size());
+  for (std::size_t k = 0; k < a.endpoint_crit_prob.size(); ++k) {
+    EXPECT_EQ(a.endpoint_crit_prob[k], b.endpoint_crit_prob[k]) << "ep " << k;
+  }
+  ASSERT_EQ(a.endpoint_stage_crit.size(), b.endpoint_stage_crit.size());
+  for (std::size_t k = 0; k < a.endpoint_stage_crit.size(); ++k) {
+    EXPECT_EQ(a.endpoint_stage_crit[k], b.endpoint_stage_crit[k]) << "ep " << k;
+  }
+  ASSERT_EQ(a.min_period_samples.size(), b.min_period_samples.size());
+  for (std::size_t k = 0; k < a.min_period_samples.size(); ++k) {
+    EXPECT_EQ(a.min_period_samples[k], b.min_period_samples[k]) << "k " << k;
+  }
+}
+
+/// The determinism-under-parallelism contract: serial, 1-thread, and
+/// 8-thread runs produce the bit-identical McResult.
+TEST_F(McFixture, BitIdenticalAcrossThreadCounts) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 60;  // not a multiple of the batch width: ragged tail
+  const McResult serial = mc.run(DieLocation::point('A'), cfg);
+  ThreadPool one(1);
+  expect_identical(serial, mc.run(DieLocation::point('A'), cfg, &one));
+  ThreadPool eight(8);
+  expect_identical(serial, mc.run(DieLocation::point('A'), cfg, &eight));
+}
+
+/// The batch width is a pure execution-layout choice: the scalar kernel
+/// (batch 1), the default width, and odd widths all yield the same bits.
+TEST_F(McFixture, BitIdenticalAcrossBatchWidths) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 60;
+  const McResult ref = mc.run(DieLocation::point('A'), cfg);  // batch 8
+  for (int batch : {1, 7, 32}) {
+    McConfig c = cfg;
+    c.batch = batch;
+    expect_identical(ref, mc.run(DieLocation::point('A'), c));
+    ThreadPool pool(3);
+    expect_identical(ref, mc.run(DieLocation::point('A'), c, &pool));
+  }
 }
 
 }  // namespace
