@@ -81,6 +81,21 @@ struct CharParams {
     return raw_delay(lgate_nm, vdd, vth0);
   }
 
+  /// raw_delay with pow(Lgate, 1.5) strength-reduced to Lgate*sqrt(Lgate)
+  /// (~3x cheaper, equal to within ~1 ulp but NOT bit-identical — pow
+  /// rounds once, the product twice).  Kept separate so the scalar draw
+  /// path stays bit-identical to seed; the batched draw profile's
+  /// delay-factor tables are built from this form.
+  double raw_delay_fast(double lgate_nm, double vdd,
+                        double vth0_class) const {
+    const double vth = vth_eff(lgate_nm, vdd, vth0_class);
+    const double overdrive = vdd - vth;
+    if (overdrive <= 0.0) {
+      throw std::domain_error("raw_delay_fast: Vdd below effective threshold");
+    }
+    return lgate_nm * std::sqrt(lgate_nm) * vdd / std::pow(overdrive, alpha);
+  }
+
   /// Delay multiplier of a gate with the given Lgate at the given Vdd,
   /// relative to a nominal-Lgate gate of the same Vth class at the same
   /// Vdd.  This is the factor the SSTA loop applies to annotated

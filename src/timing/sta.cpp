@@ -360,6 +360,25 @@ void StaEngine::analyze_batch(std::span<const std::vector<double>> inst_factor,
       }
     }
   }
+  analyze_batch_core(factor_soa_.data(), width, results);
+}
+
+void StaEngine::analyze_batch_soa(std::span<const double> factor_soa,
+                                  std::size_t width,
+                                  std::span<StaResult> results) const {
+  if (results.size() != width) {
+    throw std::invalid_argument(
+        "analyze_batch_soa: factor/result size mismatch");
+  }
+  if (width == 0) return;
+  if (factor_soa.size() < design_->num_instances() * width) {
+    throw std::invalid_argument("analyze_batch_soa: short factor buffer");
+  }
+  analyze_batch_core(factor_soa.data(), width, results);
+}
+
+void StaEngine::analyze_batch_core(const double* factor_soa, std::size_t width,
+                                   std::span<StaResult> results) const {
   arrival_soa_.assign(static_cast<std::size_t>(node_count_) * width, kNegInf);
 
   for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
@@ -369,7 +388,7 @@ void StaEngine::analyze_batch(std::span<const std::vector<double>> inst_factor,
     if (i == kInvalidInst) {
       for (std::size_t b = 0; b < width; ++b) a[b] = std::max(a[b], base);
     } else {
-      const double* f = &factor_soa_[static_cast<std::size_t>(i) * width];
+      const double* f = &factor_soa[static_cast<std::size_t>(i) * width];
       for (std::size_t b = 0; b < width; ++b) {
         a[b] = std::max(a[b], base * f[b]);
       }
@@ -381,12 +400,17 @@ void StaEngine::analyze_batch(std::span<const std::vector<double>> inst_factor,
   // unrolled vector code); anything else takes the runtime-width path —
   // all widths run the identical per-lane arithmetic.
   switch (width) {
-    case 4: relax_edges<4>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
-    case 8: relax_edges<8>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
-    case 16: relax_edges<16>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
-    default: relax_edges<0>(edges_, factor_soa_.data(), arrival_soa_.data(), width); break;
+    case 4: relax_edges<4>(edges_, factor_soa, arrival_soa_.data(), width); break;
+    case 8: relax_edges<8>(edges_, factor_soa, arrival_soa_.data(), width); break;
+    case 16: relax_edges<16>(edges_, factor_soa, arrival_soa_.data(), width); break;
+    default: relax_edges<0>(edges_, factor_soa, arrival_soa_.data(), width); break;
   }
 
+  extract_batch_results(width, results);
+}
+
+void StaEngine::extract_batch_results(std::size_t width,
+                                      std::span<StaResult> results) const {
   // Per-lane endpoint extraction, identical arithmetic (and endpoint
   // order) to the scalar path.
   for (std::size_t b = 0; b < width; ++b) {
@@ -417,6 +441,109 @@ void StaEngine::analyze_batch(std::span<const std::vector<double>> inst_factor,
       sw = std::min(sw, slack);
     }
   }
+}
+
+/// Same unconditional-max shape as relax_edges, with the per-lane delay
+/// (this lane's own base times its factor) read from a precomputed row
+/// instead of being formed in the loop — the product is one IEEE multiply
+/// either way, so per-lane bits match the scalar path exactly.
+template <std::size_t kWidth>
+void StaEngine::relax_edges_delays(std::span<const Edge> edges,
+                                   const double* delay_soa,
+                                   double* arrival_soa, std::size_t width) {
+  const std::size_t w = kWidth == 0 ? width : kWidth;
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    const Edge& e = edges[ei];
+    const double* __restrict from = arrival_soa + e.from * w;
+    double* __restrict to = arrival_soa + e.to * w;
+    const double* __restrict d = delay_soa + ei * w;
+    for (std::size_t b = 0; b < w; ++b) {
+      to[b] = std::max(to[b], from[b] + d[b]);
+    }
+  }
+}
+
+StaEngine::BaseSnapshot StaEngine::snapshot_bases() const {
+  BaseSnapshot snap;
+  snap.edge_base.resize(edges_.size());
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    snap.edge_base[ei] = edges_[ei].base_delay;
+  }
+  snap.launch_base = launch_base_;
+  snap.inst_corner = inst_corner_;
+  return snap;
+}
+
+void StaEngine::restore_bases(const BaseSnapshot& snap) {
+  if (snap.edge_base.size() != edges_.size() ||
+      snap.launch_base.size() != launch_base_.size() ||
+      snap.inst_corner.size() != inst_corner_.size()) {
+    throw std::invalid_argument("restore_bases: snapshot/graph mismatch");
+  }
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    edges_[ei].base_delay = snap.edge_base[ei];
+  }
+  launch_base_ = snap.launch_base;
+  inst_corner_ = snap.inst_corner;
+}
+
+void StaEngine::analyze_batch_bases(
+    std::span<const BaseSnapshot* const> bases,
+    std::span<const std::vector<double>> inst_factor,
+    std::span<StaResult> results) const {
+  const std::size_t width = bases.size();
+  if (results.size() != width || inst_factor.size() != width) {
+    throw std::invalid_argument("analyze_batch_bases: lane count mismatch");
+  }
+  if (width == 0) return;
+  const std::size_t num_inst = design_->num_instances();
+  for (std::size_t b = 0; b < width; ++b) {
+    if (bases[b] == nullptr || bases[b]->edge_base.size() != edges_.size() ||
+        bases[b]->launch_base.size() != launch_base_.size()) {
+      throw std::invalid_argument("analyze_batch_bases: snapshot mismatch");
+    }
+    if (!inst_factor[b].empty() && inst_factor[b].size() < num_inst) {
+      throw std::invalid_argument("analyze_batch_bases: short factor vector");
+    }
+  }
+
+  // Fold every lane's own base into a per-edge per-lane delay row once,
+  // so the relaxation loop stays a pure max-plus sweep.
+  delay_soa_.resize(edges_.size() * width);
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    const Edge& e = edges_[ei];
+    double* d = &delay_soa_[ei * width];
+    for (std::size_t b = 0; b < width; ++b) {
+      const double base = static_cast<double>(bases[b]->edge_base[ei]);
+      const double f = (e.inst == kInvalidInst || inst_factor[b].empty())
+                           ? 1.0
+                           : inst_factor[b][e.inst];
+      d[b] = base * f;
+    }
+  }
+
+  arrival_soa_.assign(static_cast<std::size_t>(node_count_) * width, kNegInf);
+  for (std::size_t li = 0; li < launch_nodes_.size(); ++li) {
+    const InstId i = launch_inst_[li];
+    double* a =
+        &arrival_soa_[static_cast<std::size_t>(launch_nodes_[li]) * width];
+    for (std::size_t b = 0; b < width; ++b) {
+      const double base = static_cast<double>(bases[b]->launch_base[li]);
+      const double f = (i == kInvalidInst || inst_factor[b].empty())
+                           ? 1.0
+                           : inst_factor[b][i];
+      a[b] = std::max(a[b], base * f);
+    }
+  }
+
+  switch (width) {
+    case 4: relax_edges_delays<4>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
+    case 8: relax_edges_delays<8>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
+    case 16: relax_edges_delays<16>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
+    default: relax_edges_delays<0>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
+  }
+
+  extract_batch_results(width, results);
 }
 
 double StaEngine::min_period(std::span<const double> inst_factor) const {

@@ -115,6 +115,40 @@ class StaEngine {
   void analyze_batch(std::span<const std::vector<double>> inst_factor,
                      std::span<StaResult> results) const;
 
+  /// Batched analysis over factors already laid out structure-of-arrays
+  /// (factor_soa[i * width + b], one row per instance) — the lane handoff
+  /// from VariationModel::draw_factors_batch, which writes this layout
+  /// directly so no per-batch transpose runs between draw and
+  /// propagation.  results[b] is bit-identical to analyze() on lane b's
+  /// factors (same kernel as analyze_batch, minus the packing).
+  void analyze_batch_soa(std::span<const double> factor_soa, std::size_t width,
+                         std::span<StaResult> results) const;
+
+  /// Frozen output of one compute_base(): per-edge and per-launch base
+  /// delays plus the per-instance corner map.  restore_bases() writes a
+  /// snapshot back bit-identically at memcpy cost — the compensation
+  /// controller uses this to flip between island escalation levels
+  /// without re-running delay calculation.  A snapshot is tied to this
+  /// engine's graph (edge order); copies of the same engine may exchange
+  /// snapshots.
+  struct BaseSnapshot {
+    std::vector<float> edge_base;
+    std::vector<float> launch_base;
+    std::vector<int> inst_corner;
+  };
+  BaseSnapshot snapshot_bases() const;
+  void restore_bases(const BaseSnapshot& snap);
+
+  /// Batched analysis where every lane has its OWN base delays: lane b
+  /// evaluates bases[b] (a snapshot of some compute_base()) scaled by
+  /// inst_factor[b] (empty = nominal).  results[b] is bit-identical to
+  /// restore_bases(*bases[b]) followed by analyze(inst_factor[b]).  This
+  /// is how all island escalation levels of one die run as one batch:
+  /// same graph, same factors, different corner assignments per lane.
+  void analyze_batch_bases(std::span<const BaseSnapshot* const> bases,
+                           std::span<const std::vector<double>> inst_factor,
+                           std::span<StaResult> results) const;
+
   const std::vector<Endpoint>& endpoints() const { return endpoints_; }
 
   /// Critical path to the given endpoint under the provided factors
@@ -172,6 +206,24 @@ class StaEngine {
                           const double* factor_soa, double* arrival_soa,
                           std::size_t width);
 
+  /// Relaxation over per-edge per-lane precomputed delays (the
+  /// analyze_batch_bases kernel; delays carry each lane's own base).
+  template <std::size_t kWidth>
+  static void relax_edges_delays(std::span<const Edge> edges,
+                                 const double* delay_soa, double* arrival_soa,
+                                 std::size_t width);
+
+  /// Shared tail of analyze_batch / analyze_batch_soa: launch
+  /// initialization, relaxation dispatch and endpoint extraction over
+  /// pre-packed SoA factors.
+  void analyze_batch_core(const double* factor_soa, std::size_t width,
+                          std::span<StaResult> results) const;
+
+  /// Per-lane endpoint extraction from arrival_soa_ (identical
+  /// arithmetic and endpoint order to the scalar path).
+  void extract_batch_results(std::size_t width,
+                             std::span<StaResult> results) const;
+
   const Design* design_;
   StaOptions opts_;
 
@@ -196,6 +248,7 @@ class StaEngine {
   // Batch scratch (SoA lanes), grown on demand by analyze_batch().
   mutable std::vector<double> arrival_soa_;  // node_count_ * batch
   mutable std::vector<double> factor_soa_;   // num_instances * batch
+  mutable std::vector<double> delay_soa_;    // num_edges * batch (multi-base)
 };
 
 }  // namespace vipvt

@@ -1,0 +1,59 @@
+// Bulk normal generation for the batched draw profile.  This file is
+// compiled with vector-math options (see CMakeLists.txt) so the
+// log/sin/cos of the Box-Muller transform auto-vectorize through libmvec
+// — the difference between the draw dominating the Monte-Carlo hot loop
+// and disappearing into it.
+//
+// The fill works in fixed 128-pair blocks held in struct-of-arrays stack
+// buffers: uniforms, then radii, then cos, then sin, each as its own
+// dense loop over the FULL block even when the tail of the request needs
+// fewer pairs.  Padding the last block is what preserves the prefix-
+// stability contract of Rng::normals under vectorization: counter k is
+// always evaluated at block k/128, lane k%128, so whether k is near a
+// request boundary cannot change which code path (vector body vs scalar
+// remainder) computes it.
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace vipvt {
+
+void Rng::normals(std::span<double> out) noexcept {
+  const std::uint64_t key_r = next();
+  const std::uint64_t key_t = next();
+  const std::size_t n = out.size();
+  const std::size_t pairs = n / 2;
+  const std::size_t total_pairs = (n + 1) / 2;  // incl. the odd-tail pair
+
+  constexpr std::size_t kBlock = 128;
+  double u1[kBlock], ang[kBlock], rad[kBlock], zc[kBlock], zs[kBlock];
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  for (std::size_t base = 0; base < total_pairs; base += kBlock) {
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      // u1 in (0, 1] (the +1 before scaling) so log(u1) is finite;
+      // u2 in [0, 1).
+      u1[j] = (static_cast<double>(counter_bits(key_r, base + j) >> 11) + 1.0) *
+              0x1.0p-53;
+      ang[j] = kTwoPi * (static_cast<double>(counter_bits(key_t, base + j) >> 11) *
+                         0x1.0p-53);
+    }
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      rad[j] = std::sqrt(-2.0 * std::log(u1[j]));
+    }
+    for (std::size_t j = 0; j < kBlock; ++j) zc[j] = std::cos(ang[j]);
+    for (std::size_t j = 0; j < kBlock; ++j) zs[j] = std::sin(ang[j]);
+
+    const std::size_t m = base < pairs ? std::min(kBlock, pairs - base) : 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      out[2 * (base + j)] = rad[j] * zc[j];
+      out[2 * (base + j) + 1] = rad[j] * zs[j];
+    }
+    if ((n & 1) != 0 && base <= pairs && pairs < base + kBlock) {
+      out[n - 1] = rad[pairs - base] * zc[pairs - base];
+    }
+  }
+}
+
+}  // namespace vipvt

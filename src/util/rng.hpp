@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <span>
 
 namespace vipvt {
 
@@ -116,6 +117,23 @@ class Rng {
   /// Bernoulli trial with probability p of returning true.
   bool chance(double p) noexcept { return uniform() < p; }
 
+  /// Fill `out` with i.i.d. standard-normal deviates.  This is the bulk
+  /// generator of the batched draw profile: counter-driven Box-Muller
+  /// instead of the polar method — no rejection loop, no cached-deviate
+  /// state, one fixed-work iteration per output pair.  Exactly TWO parent
+  /// next() calls are consumed regardless of out.size(): they key two
+  /// splitmix64-finalized counter streams that supply the uniforms.
+  /// Consequences relied on by callers (and pinned in test_util_rng):
+  ///   * out[i] depends only on (parent state at entry, i) — prefixes are
+  ///     stable, so normals(m) is a prefix of normals(n) for m <= n;
+  ///   * an odd-length fill drops the second deviate of the last pair.
+  /// Defined in rng.cpp: the fill evaluates fixed-size blocks in
+  /// struct-of-arrays form and that file is compiled with vector-math
+  /// flags, so log/sin/cos run 2-4 lanes wide through libmvec.  Every
+  /// counter position is always evaluated at the same block/lane slot,
+  /// which is what keeps prefixes bit-stable under vectorization.
+  void normals(std::span<double> out) noexcept;
+
   /// Derive an independent child generator (for per-sample streams).
   /// The child's 256-bit state is built from a fresh splitmix64 stream
   /// keyed by TWO parent draws, not from a single XOR-perturbed draw:
@@ -138,6 +156,16 @@ class Rng {
   }
 
  private:
+  /// Stateless uniform bits for counter `i` of the stream keyed by `key`:
+  /// the splitmix64 finalizer over key + i*golden — the same spacing
+  /// splitmix64 itself uses, evaluated at a random offset instead of
+  /// sequentially, which is what makes the generator counter-driven.
+  static constexpr std::uint64_t counter_bits(std::uint64_t key,
+                                              std::uint64_t i) noexcept {
+    std::uint64_t s = key + i * 0x9e3779b97f4a7c15ULL;
+    return splitmix64(s);
+  }
+
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }

@@ -38,13 +38,21 @@ namespace {
 /// Tallies are unsigned counts so the cross-worker merge is exact
 /// integer addition — bit-identical no matter which worker counted what.
 struct McWorker {
-  explicit McWorker(const StaEngine& sta, int width, std::size_t num_eps)
-      : engine(sta), factors(static_cast<std::size_t>(width)),
-        results(static_cast<std::size_t>(width)), crit(num_eps, 0),
-        stage_crit(num_eps, 0) {}
+  explicit McWorker(const StaEngine& sta, int width, std::size_t num_eps,
+                    std::size_t num_inst, DrawProfile profile)
+      : engine(sta), results(static_cast<std::size_t>(width)),
+        crit(num_eps, 0), stage_crit(num_eps, 0) {
+    if (profile == DrawProfile::Batched) {
+      factor_soa.resize(num_inst * static_cast<std::size_t>(width));
+    } else {
+      factors.resize(static_cast<std::size_t>(width));
+    }
+  }
 
   StaEngine engine;
-  std::vector<std::vector<double>> factors;
+  std::vector<std::vector<double>> factors;  ///< Scalar profile lanes
+  std::vector<double> factor_soa;            ///< Batched profile lanes (SoA)
+  VariationModel::DrawScratch scratch;
   std::vector<StaResult> results;
   std::vector<std::uint32_t> crit;        ///< samples with slack < 0
   std::vector<std::uint32_t> stage_crit;  ///< samples setting stage WNS
@@ -54,6 +62,14 @@ struct McWorker {
 
 McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
                              ThreadPool* pool) const {
+  const std::vector<double> systematic =
+      model_->systematic_lgates(*design_, loc);
+  return run_with_systematic(systematic, cfg, pool);
+}
+
+McResult MonteCarloSsta::run_with_systematic(
+    std::span<const double> systematic, const McConfig& cfg,
+    ThreadPool* pool) const {
   McResult result;
   result.samples = cfg.samples;
   for (int s = 0; s < kNumPipeStages; ++s) {
@@ -68,12 +84,18 @@ McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
   if (cfg.samples <= 0) return result;
   const auto num_samples = static_cast<std::size_t>(cfg.samples);
   const int width = std::max(cfg.batch, 1);
+  const std::size_t num_inst = design_->num_instances();
   result.min_period_samples.reserve(num_samples);
 
-  // The systematic Lgate component is sample-invariant: evaluate the
-  // exposure-field polynomial once per run, not once per gate per sample.
-  const std::vector<double> systematic =
-      model_->systematic_lgates(*design_, loc);
+  // Sample-invariant precomputes: the systematic Lgate map arrives from
+  // the caller (evaluated once per run — or once per reticle slot in the
+  // wafer path); the correlated-field stencils hoist the bilinear
+  // index/weight/sqrt work out of the per-gate per-sample loop.
+  if (systematic.size() < num_inst) {
+    throw std::invalid_argument("run_with_systematic: short systematic map");
+  }
+  const std::vector<CorrelatedField::Stencil> stencils =
+      model_->field_stencils(*design_);
 
   // Pre-sized per-sample slots; workers only ever write their own
   // indices, so the thread schedule cannot reach the output.
@@ -83,7 +105,9 @@ McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
   std::mutex workers_mu;
   std::vector<std::shared_ptr<McWorker>> workers;
   auto make_worker = [&] {
-    auto w = std::make_shared<McWorker>(*sta_, width, num_eps);
+    auto w =
+        std::make_shared<McWorker>(*sta_, width, num_eps, num_inst,
+                                   cfg.profile);
     const std::lock_guard<std::mutex> lock(workers_mu);
     workers.push_back(w);
     return w;
@@ -97,15 +121,29 @@ McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
     const std::size_t lanes =
         std::min<std::size_t>(static_cast<std::size_t>(width),
                               num_samples - first);
-    for (std::size_t l = 0; l < lanes; ++l) {
-      Rng rng(substream_seed(cfg.seed, first + l));
-      model_->draw_factors(*design_, w.engine, systematic, rng, w.factors[l]);
-    }
-    if (width == 1) {
-      w.results[0] = w.engine.analyze(w.factors[0]);
+    if (cfg.profile == DrawProfile::Batched) {
+      // Draw all lanes in one pass directly into the SoA layout the
+      // propagation kernel consumes; no per-batch transpose.
+      model_->draw_factors_batch(
+          *design_, w.engine, systematic, stencils, cfg.seed, first, lanes,
+          std::span(w.factor_soa).first(num_inst * lanes), w.scratch);
+      w.engine.analyze_batch_soa(
+          std::span<const double>(w.factor_soa).first(num_inst * lanes),
+          lanes, std::span(w.results).first(lanes));
+      // (lanes is the SoA stride: the tail batch packs tightly, and every
+      // lane's bits are width-independent by the draw's contract.)
     } else {
-      w.engine.analyze_batch(std::span(w.factors).first(lanes),
-                             std::span(w.results).first(lanes));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        Rng rng(substream_seed(cfg.seed, first + l));
+        model_->draw_factors(*design_, w.engine, systematic, stencils, rng,
+                             w.factors[l]);
+      }
+      if (width == 1) {
+        w.results[0] = w.engine.analyze(w.factors[0]);
+      } else {
+        w.engine.analyze_batch(std::span(w.factors).first(lanes),
+                               std::span(w.results).first(lanes));
+      }
     }
     for (std::size_t l = 0; l < lanes; ++l) {
       const StaResult& sr = w.results[l];

@@ -20,6 +20,23 @@ namespace vipvt {
 
 class ThreadPool;
 
+/// Versioned draw profiles.  A profile fixes the exact bit-stream of the
+/// per-sample factor draw; results are comparable across machines and
+/// releases only within a profile.
+enum class DrawProfile : int {
+  /// The seed path: per-gate polar normals + exact alpha-power quotient
+  /// per gate per sample.  Stays bit-identical to the original
+  /// implementation forever — the reproducibility anchor.
+  Scalar = 0,
+  /// The vectorized engine: counter-driven Box-Muller bulk normals
+  /// (Rng::normals) + delay-factor interpolation tables
+  /// (VariationModel::draw_factors_batch), writing the propagation
+  /// kernel's SoA layout directly.  Its own determinism contract:
+  /// bit-identical for any thread count and any batch width, but a
+  /// DIFFERENT (statistically equivalent) stream than Scalar.
+  Batched = 1,
+};
+
 struct McConfig {
   int samples = 500;
   std::uint64_t seed = 0x55aa55aa;
@@ -29,6 +46,9 @@ struct McConfig {
   /// yields a bit-identical McResult — the batch is a pure layout
   /// optimization (asserted in tests/test_variation.cpp).
   int batch = 8;
+  /// Which draw engine generates the factors (see DrawProfile).  The
+  /// default keeps every existing caller bit-identical to seed.
+  DrawProfile profile = DrawProfile::Scalar;
 };
 
 /// Distribution of one pipeline stage's worst slack across MC samples.
@@ -86,6 +106,16 @@ class MonteCarloSsta {
   /// `cfg.batch` at a time through StaEngine::analyze_batch.
   McResult run(const DieLocation& loc, const McConfig& cfg,
                ThreadPool* pool = nullptr) const;
+
+  /// Same run against a caller-provided systematic Lgate map (one entry
+  /// per instance, from VariationModel::systematic_lgates).  This is the
+  /// wafer path: all dies in a reticle slot share the map, so the
+  /// YieldAnalyzer computes it once per slot instead of once per die.
+  /// Bit-identical to run(loc, ...) when the map equals the one loc
+  /// would produce.
+  McResult run_with_systematic(std::span<const double> systematic,
+                               const McConfig& cfg,
+                               ThreadPool* pool = nullptr) const;
 
  private:
   const Design* design_;

@@ -13,31 +13,50 @@ CorrelatedField::CorrelatedField(double pitch_um, int grid, double sigma_nm,
   for (auto& v : values_) v = rng.normal(0.0, sigma_nm);
 }
 
-double CorrelatedField::at(Point pos_um) const {
-  if (!active()) return 0.0;
-  const double gx = std::clamp(pos_um.x / pitch_um_, 0.0,
-                               static_cast<double>(grid_) - 1e-9);
-  const double gy = std::clamp(pos_um.y / pitch_um_, 0.0,
-                               static_cast<double>(grid_) - 1e-9);
+CorrelatedField CorrelatedField::bulk(double pitch_um, int grid,
+                                      double sigma_nm, Rng& rng) {
+  CorrelatedField f;
+  f.pitch_um_ = pitch_um;
+  f.grid_ = grid;
+  f.values_.resize(static_cast<std::size_t>(grid + 1) * (grid + 1));
+  rng.normals(f.values_);
+  for (auto& v : f.values_) v *= sigma_nm;
+  return f;
+}
+
+CorrelatedField::Stencil CorrelatedField::stencil_at(Point pos_um,
+                                                     double pitch_um,
+                                                     int grid) {
+  const double gx = std::clamp(pos_um.x / pitch_um, 0.0,
+                               static_cast<double>(grid) - 1e-9);
+  const double gy = std::clamp(pos_um.y / pitch_um, 0.0,
+                               static_cast<double>(grid) - 1e-9);
   const auto x0 = static_cast<std::size_t>(gx);
   const auto y0 = static_cast<std::size_t>(gy);
   const double fx = gx - static_cast<double>(x0);
   const double fy = gy - static_cast<double>(y0);
-  const auto stride = static_cast<std::size_t>(grid_ + 1);
-  const double v00 = values_[y0 * stride + x0];
-  const double v01 = values_[y0 * stride + x0 + 1];
-  const double v10 = values_[(y0 + 1) * stride + x0];
-  const double v11 = values_[(y0 + 1) * stride + x0 + 1];
-  const double w00 = (1 - fx) * (1 - fy);
-  const double w01 = fx * (1 - fy);
-  const double w10 = (1 - fx) * fy;
-  const double w11 = fx * fy;
-  const double interp = v00 * w00 + v01 * w01 + v10 * w10 + v11 * w11;
+  const auto stride = static_cast<std::size_t>(grid + 1);
+  Stencil s;
+  s.idx[0] = static_cast<std::uint32_t>(y0 * stride + x0);
+  s.idx[1] = static_cast<std::uint32_t>(y0 * stride + x0 + 1);
+  s.idx[2] = static_cast<std::uint32_t>((y0 + 1) * stride + x0);
+  s.idx[3] = static_cast<std::uint32_t>((y0 + 1) * stride + x0 + 1);
+  s.w[0] = (1 - fx) * (1 - fy);
+  s.w[1] = fx * (1 - fy);
+  s.w[2] = (1 - fx) * fy;
+  s.w[3] = fx * fy;
   // Bilinear blending of i.i.d. nodes shrinks the variance between nodes;
-  // renormalize so the marginal sigma is position-independent.
-  const double norm =
-      std::sqrt(w00 * w00 + w01 * w01 + w10 * w10 + w11 * w11);
-  return interp / norm;
+  // the norm renormalizes so the marginal sigma is position-independent.
+  // Stored un-divided (at(Stencil) divides) so the stencil path keeps the
+  // exact operation order of the historical direct evaluation.
+  s.norm = std::sqrt(s.w[0] * s.w[0] + s.w[1] * s.w[1] + s.w[2] * s.w[2] +
+                     s.w[3] * s.w[3]);
+  return s;
+}
+
+double CorrelatedField::at(Point pos_um) const {
+  if (!active()) return 0.0;
+  return at(stencil_at(pos_um, pitch_um_, grid_));
 }
 
 VariationModel::VariationModel(const CharParams& cp, const ExposureField& field,
@@ -52,6 +71,13 @@ VariationModel::VariationModel(const CharParams& cp, const ExposureField& field,
                         cp_.vth0_of(static_cast<VthClass>(v)));
     }
   }
+  // Table range = everything a clamped draw can produce: systematic
+  // field extremes +/- clamp_sigma random deviations.  eval() clamps, so
+  // rounding at the extremes cannot read out of range.
+  const double dev = field.max_dev_frac() * cp.lgate_nom;
+  const double clamp = cfg_.clamp_sigma * sigma_rnd_;
+  tables_ = DelayFactorTables(cp_, cp.lgate_nom - dev - clamp,
+                              cp.lgate_nom + dev + clamp);
 }
 
 double VariationModel::sigma_correlated_nm() const {
@@ -64,9 +90,7 @@ double VariationModel::sigma_independent_nm() const {
 
 CorrelatedField VariationModel::draw_field(Rng& rng) const {
   if (cfg_.correlated_fraction <= 0.0) return {};
-  // 24x24 nodes at one correlation length per pitch covers dies up to
-  // ~24 correlation lengths across; larger positions clamp to the edge.
-  return CorrelatedField(cfg_.correlation_length_um, 24,
+  return CorrelatedField(cfg_.correlation_length_um, kCorrGrid,
                          sigma_correlated_nm(), rng);
 }
 
@@ -129,26 +153,110 @@ std::vector<double>& VariationModel::draw_factors(
     const Design& design, const StaEngine& sta,
     std::span<const double> systematic_lgate_nm, Rng& rng,
     std::vector<double>& factors) const {
+  return draw_factors(design, sta, systematic_lgate_nm, {}, rng, factors);
+}
+
+std::vector<CorrelatedField::Stencil> VariationModel::field_stencils(
+    const Design& design) const {
+  if (cfg_.correlated_fraction <= 0.0) return {};
+  std::vector<CorrelatedField::Stencil> stencils(design.num_instances());
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    stencils[i] = CorrelatedField::stencil_at(
+        design.instance(i).pos, cfg_.correlation_length_um, kCorrGrid);
+  }
+  return stencils;
+}
+
+std::vector<double>& VariationModel::draw_factors(
+    const Design& design, const StaEngine& sta,
+    std::span<const double> systematic_lgate_nm,
+    std::span<const CorrelatedField::Stencil> stencils, Rng& rng,
+    std::vector<double>& factors) const {
   if (systematic_lgate_nm.size() < design.num_instances()) {
     throw std::invalid_argument("draw_factors: short systematic map");
   }
   factors.resize(design.num_instances());
   const CorrelatedField field = draw_field(rng);
   const bool correlated = field.active();
+  const bool use_stencils =
+      correlated && stencils.size() >= design.num_instances();
   const double sigma_ind = sigma_independent_nm();
   const double clamp = cfg_.clamp_sigma * sigma_rnd_;
   for (InstId i = 0; i < design.num_instances(); ++i) {
     // Mirrors sample_lgate() draw-for-draw (same RNG consumption, same
-    // clamp), with the systematic term read from the precomputed map.
-    double eps = correlated
-                     ? field.at(design.instance(i).pos) +
-                           rng.normal(0.0, sigma_ind)
-                     : rng.normal(0.0, sigma_rnd_);
+    // clamp), with the systematic term read from the precomputed map and
+    // the field read through the precomputed stencil when available
+    // (at(Stencil) is bit-identical to at(Point)).
+    double eps;
+    if (correlated) {
+      const double fld = use_stencils ? field.at(stencils[i])
+                                      : field.at(design.instance(i).pos);
+      eps = fld + rng.normal(0.0, sigma_ind);
+    } else {
+      eps = rng.normal(0.0, sigma_rnd_);
+    }
     eps = std::clamp(eps, -clamp, clamp);
     factors[i] = delay_factor(systematic_lgate_nm[i] + eps,
                               sta.inst_corner(i), design.cell_of(i).vth);
   }
   return factors;
+}
+
+void VariationModel::draw_factors_batch(
+    const Design& design, const StaEngine& sta,
+    std::span<const double> systematic_lgate_nm,
+    std::span<const CorrelatedField::Stencil> stencils, std::uint64_t seed,
+    std::uint64_t first_sample, std::size_t width,
+    std::span<double> factor_soa, DrawScratch& scratch) const {
+  const std::size_t n = design.num_instances();
+  if (systematic_lgate_nm.size() < n) {
+    throw std::invalid_argument("draw_factors_batch: short systematic map");
+  }
+  if (factor_soa.size() < n * width) {
+    throw std::invalid_argument("draw_factors_batch: short factor buffer");
+  }
+  const bool correlated = cfg_.correlated_fraction > 0.0;
+  if (correlated && stencils.size() < n) {
+    throw std::invalid_argument("draw_factors_batch: short stencil span");
+  }
+  scratch.eps.resize(width * n);
+  const double clamp = cfg_.clamp_sigma * sigma_rnd_;
+  const double sigma = correlated ? sigma_independent_nm() : sigma_rnd_;
+  for (std::size_t lane = 0; lane < width; ++lane) {
+    // The lane owns the substream of global sample first_sample + lane,
+    // so its bits are a function of the sample index alone — never of
+    // width, batch boundaries or the thread schedule.
+    Rng rng(substream_seed(seed, first_sample + lane));
+    double* eps = &scratch.eps[lane * n];
+    CorrelatedField field;
+    if (correlated) {
+      field = CorrelatedField::bulk(cfg_.correlation_length_um, kCorrGrid,
+                                    sigma_correlated_nm(), rng);
+    }
+    rng.normals({eps, n});
+    if (correlated) {
+      for (std::size_t i = 0; i < n; ++i) {
+        eps[i] =
+            std::clamp(field.at(stencils[i]) + sigma * eps[i], -clamp, clamp);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        eps[i] = std::clamp(sigma * eps[i], -clamp, clamp);
+      }
+    }
+  }
+  // Transform pass, instance-major to match the SoA layout the batched
+  // propagation kernel consumes: one table-row fetch per instance, then a
+  // short strided gather over lanes.
+  for (InstId i = 0; i < n; ++i) {
+    const double* rc = tables_.row_data(
+        DelayFactorTables::row(sta.inst_corner(i), design.cell_of(i).vth));
+    const double sys = systematic_lgate_nm[i];
+    double* out = &factor_soa[static_cast<std::size_t>(i) * width];
+    for (std::size_t lane = 0; lane < width; ++lane) {
+      out[lane] = tables_.eval_row(rc, sys + scratch.eps[lane * n + i]);
+    }
+  }
 }
 
 }  // namespace vipvt

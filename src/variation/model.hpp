@@ -19,6 +19,7 @@
 #include "timing/sta.hpp"
 #include "util/rng.hpp"
 #include "variation/field.hpp"
+#include "variation/tables.hpp"
 
 namespace vipvt {
 
@@ -43,9 +44,40 @@ class CorrelatedField {
   CorrelatedField() = default;  ///< inactive (i.i.d. model)
   CorrelatedField(double pitch_um, int grid, double sigma_nm, Rng& rng);
 
+  /// Counter-driven bulk draw of the node grid (Rng::normals instead of
+  /// per-node polar normals) — the batched draw profile's field source.
+  static CorrelatedField bulk(double pitch_um, int grid, double sigma_nm,
+                              Rng& rng);
+
   bool active() const { return !values_.empty(); }
+
+  /// Precomputed bilinear interpolation site for a fixed cell position:
+  /// node indices, raw weights and the sqrt weight normalization of
+  /// at(Point), hoisted out of the per-gate draw loop.  Positions are
+  /// sample-invariant — only node values change between draws — so a
+  /// Monte-Carlo run computes stencils once and reuses them for every
+  /// sample (VariationModel::field_stencils).
+  struct Stencil {
+    std::uint32_t idx[4]{};
+    double w[4]{};
+    double norm = 1.0;
+  };
+  static Stencil stencil_at(Point pos_um, double pitch_um, int grid);
+
   /// Correlated Lgate deviation [nm] at a core-local position [um].
   double at(Point pos_um) const;
+
+  /// Stencil evaluation.  Evaluates exactly the expression at(Point)
+  /// evaluates, in the same order, so the hoisted path is bit-identical
+  /// to the direct one.
+  double at(const Stencil& s) const {
+    if (!active()) return 0.0;
+    const double interp = values_[s.idx[0]] * s.w[0] +
+                          values_[s.idx[1]] * s.w[1] +
+                          values_[s.idx[2]] * s.w[2] +
+                          values_[s.idx[3]] * s.w[3];
+    return interp / s.norm;
+  }
 
  private:
   double pitch_um_ = 1.0;
@@ -119,6 +151,57 @@ class VariationModel {
                                     Rng& rng,
                                     std::vector<double>& factors) const;
 
+  /// Node-grid resolution of the within-die correlated field: 24 pitches
+  /// of one correlation length cover dies up to ~24 correlation lengths
+  /// across; larger positions clamp to the edge.
+  static constexpr int kCorrGrid = 24;
+
+  /// Per-(corner, Vth class) delay-factor interpolation tables over the
+  /// reachable Lgate range (systematic field extremes +/- the random
+  /// clamp), built once at construction.  The batched draw profile reads
+  /// factors from these instead of evaluating the alpha-power quotient
+  /// per gate per sample; max_rel_error() is the measured bound.
+  const DelayFactorTables& delay_factor_tables() const { return tables_; }
+
+  /// Sample-invariant correlated-field stencils for every placed instance
+  /// (empty when correlated_fraction == 0).  Hoists CorrelatedField::at's
+  /// index/weight/sqrt work out of the per-gate per-sample loop.
+  std::vector<CorrelatedField::Stencil> field_stencils(
+      const Design& design) const;
+
+  /// Scalar draw with precomputed stencils: bit-identical to the span
+  /// overload above (which delegates here with an empty stencil span and
+  /// falls back to direct at(Point) evaluation).
+  std::vector<double>& draw_factors(
+      const Design& design, const StaEngine& sta,
+      std::span<const double> systematic_lgate_nm,
+      std::span<const CorrelatedField::Stencil> stencils, Rng& rng,
+      std::vector<double>& factors) const;
+
+  /// Reusable buffers of draw_factors_batch, kept across batches by the
+  /// caller (one per MC worker) to avoid per-batch allocation.
+  struct DrawScratch {
+    std::vector<double> eps;  // width x instances, lane-major
+  };
+
+  /// Batched draw profile: fill `factor_soa` — instance-major,
+  /// factor_soa[i * width + lane] — with `width` independent whole-design
+  /// draws in one pass.  Lane `l` owns the RNG substream of global sample
+  /// first_sample + l (substream_seed, same keying as the scalar path),
+  /// draws its normals in bulk (Rng::normals) and maps Lgate to delay
+  /// factor through the interpolation tables.  Every lane's bits are a
+  /// function of (seed, global sample index) alone — never of width,
+  /// batch boundaries or the thread schedule — which is the profile's
+  /// determinism contract.  NOTE: this is a different (statistically
+  /// equivalent) stream than the scalar path's polar normals; the two
+  /// profiles do not produce bit-identical samples by design.
+  void draw_factors_batch(const Design& design, const StaEngine& sta,
+                          std::span<const double> systematic_lgate_nm,
+                          std::span<const CorrelatedField::Stencil> stencils,
+                          std::uint64_t seed, std::uint64_t first_sample,
+                          std::size_t width, std::span<double> factor_soa,
+                          DrawScratch& scratch) const;
+
  private:
   CharParams cp_;
   const ExposureField* field_;
@@ -129,6 +212,7 @@ class VariationModel {
   /// per-sample loop (it halves the pow() count of a Monte-Carlo draw;
   /// the quotient is bitwise unchanged since the operands are).
   std::array<std::array<double, kNumVthClasses>, 2> nominal_raw_delay_{};
+  DelayFactorTables tables_;
 };
 
 }  // namespace vipvt

@@ -40,6 +40,36 @@ std::vector<double> CompensationController::chip_factors(
   return factors;
 }
 
+const StaEngine::BaseSnapshot& CompensationController::level_snapshot(int k) {
+  if (k < 0 || k > plan_->num_islands()) {
+    throw std::invalid_argument("level_snapshot: level out of range");
+  }
+  if (level_snaps_.empty()) {
+    level_snaps_.resize(static_cast<std::size_t>(plan_->num_islands()) + 1);
+  }
+  auto& slot = level_snaps_[static_cast<std::size_t>(k)];
+  if (slot == nullptr) {
+    sta_->compute_base(plan_->corners_for_severity(k));
+    slot = std::make_unique<StaEngine::BaseSnapshot>(sta_->snapshot_bases());
+  }
+  return *slot;
+}
+
+void CompensationController::set_level(int k) {
+  sta_->restore_bases(level_snapshot(k));
+}
+
+void CompensationController::set_chip_wide() {
+  if (chip_wide_snap_ == nullptr) {
+    const std::vector<int> corners(
+        static_cast<std::size_t>(plan_->num_islands()) + 1, kVddHigh);
+    sta_->compute_base(corners);
+    chip_wide_snap_ =
+        std::make_unique<StaEngine::BaseSnapshot>(sta_->snapshot_bases());
+  }
+  sta_->restore_bases(*chip_wide_snap_);
+}
+
 CompensationOutcome CompensationController::compensate(const VirtualChip& chip,
                                                        bool allow_escalation) {
   if (chip.lgate_nm.size() != design_->num_instances()) {
@@ -48,7 +78,7 @@ CompensationOutcome CompensationController::compensate(const VirtualChip& chip,
   CompensationOutcome out;
 
   // --- post-silicon test at the nominal supply ----------------------------
-  sta_->compute_base(plan_->corners_for_severity(0));
+  set_level(0);
   const std::vector<double> f0 = chip_factors(chip);
   const StaResult truth0 = sta_->analyze(f0);
   out.wns_before = truth0.wns;
@@ -71,19 +101,50 @@ CompensationOutcome CompensationController::compensate(const VirtualChip& chip,
   }
 
   // --- raise islands per the detected scenario ------------------------------
-  int k = out.detected_severity;
+  // Common case first, scalar: the detected level usually closes timing.
+  const int detected = out.detected_severity;
   const int max_k = plan_->num_islands();
-  while (true) {
-    sta_->compute_base(plan_->corners_for_severity(k));
+  set_level(detected);
+  {
     const std::vector<double> fk = chip_factors(chip);
     const StaResult truth = sta_->analyze(fk);
     out.wns_after = truth.wns;
-    out.islands_raised = k;
+    out.islands_raised = detected;
     out.timing_met = truth.wns >= 0.0;
-    if (out.timing_met || !allow_escalation || k >= max_k) break;
-    ++k;
-    out.escalated = true;
   }
+  if (out.timing_met || !allow_escalation || detected >= max_k) return out;
+
+  // Escalation: evaluate ALL remaining levels as one multi-base batch —
+  // lane j carries level detected+1+j's own base-delay snapshot — and
+  // pick the lowest level that closes timing, exactly the level the
+  // historical one-at-a-time walk would stop at.  Per-lane results are
+  // bit-identical to restore_bases + analyze, so every reported number
+  // matches the sequential loop bit-for-bit.
+  out.escalated = true;
+  const int first_level = detected + 1;
+  const auto lanes = static_cast<std::size_t>(max_k - detected);
+  std::vector<const StaEngine::BaseSnapshot*> bases(lanes);
+  std::vector<std::vector<double>> factors(lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    const int level = first_level + static_cast<int>(j);
+    set_level(level);  // chip_factors reads the level's corner map
+    factors[j] = chip_factors(chip);
+    bases[j] = level_snaps_[static_cast<std::size_t>(level)].get();
+  }
+  std::vector<StaResult> results(lanes);
+  sta_->analyze_batch_bases(bases, factors, results);
+  std::size_t chosen = lanes - 1;  // none passing => stop at max_k
+  for (std::size_t j = 0; j < lanes; ++j) {
+    if (results[j].wns >= 0.0) {
+      chosen = j;
+      break;
+    }
+  }
+  out.islands_raised = first_level + static_cast<int>(chosen);
+  out.wns_after = results[chosen].wns;
+  out.timing_met = results[chosen].wns >= 0.0;
+  // Sequential postcondition: the engine holds the final level's bases.
+  set_level(out.islands_raised);
   return out;
 }
 

@@ -10,6 +10,8 @@
 // to high Vdd) is the comparison point for the power results in Fig. 5.
 
 #include <array>
+#include <memory>
+#include <vector>
 
 #include "variation/model.hpp"
 #include "vi/islands.hpp"
@@ -46,6 +48,9 @@ class CompensationController {
                          const RazorPlan& sensors);
 
   /// Runs detection + island raising (+ optional escalation) on one die.
+  /// Escalation evaluates every remaining level as one multi-base
+  /// analyze_batch_bases() batch (lane = level); the outcome is
+  /// bit-identical to the historical one-level-at-a-time walk.
   CompensationOutcome compensate(const VirtualChip& chip,
                                  bool allow_escalation = true);
 
@@ -53,14 +58,32 @@ class CompensationController {
   /// corner assignment (exposed for power/analysis code).
   std::vector<double> chip_factors(const VirtualChip& chip) const;
 
+  /// Restore the engine's base delays for severity level k — bit-
+  /// identical to sta.compute_base(plan.corners_for_severity(k)), but
+  /// the full NLDM delay calculation runs only on the first use of each
+  /// level: the snapshot is cached for the controller's lifetime, so a
+  /// wafer worker reusing one controller across dies pays it once per
+  /// level, not once per die.
+  void set_level(int k);
+
+  /// Same, for the chip-wide all-high fallback assignment (the yield
+  /// analyzer's last resort before discarding a die).
+  void set_chip_wide();
+
   const IslandPlan& plan() const { return *plan_; }
 
  private:
+  const StaEngine::BaseSnapshot& level_snapshot(int k);
+
   const Design* design_;
   StaEngine* sta_;
   const VariationModel* model_;
   const IslandPlan* plan_;
   const RazorPlan* sensors_;
+  /// Cached compute_base() outputs: index 0..num_islands per severity
+  /// level, plus the chip-wide fallback.  Lazily filled.
+  std::vector<std::unique_ptr<StaEngine::BaseSnapshot>> level_snaps_;
+  std::unique_ptr<StaEngine::BaseSnapshot> chip_wide_snap_;
 };
 
 }  // namespace vipvt

@@ -1,6 +1,7 @@
 #include "yield/yield.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "vi/flow.hpp"
@@ -59,6 +60,15 @@ YieldAnalyzer YieldAnalyzer::from_flow(const Flow& flow) {
 
 DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
                                       const YieldConfig& cfg) const {
+  CompensationController ctrl(*design_, engine, *model_, *plan_, *sensors_);
+  const std::vector<double> systematic =
+      model_->systematic_lgates(*design_, die.location);
+  return analyze_die_with(engine, ctrl, die, cfg, systematic);
+}
+
+DieOutcome YieldAnalyzer::analyze_die_with(
+    StaEngine& engine, CompensationController& ctrl, const WaferDie& die,
+    const YieldConfig& cfg, std::span<const double> systematic) const {
   DieOutcome out;
   out.die_id = die.id;
 
@@ -66,12 +76,14 @@ DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
   // the worker or schedule: the determinism-under-parallelism contract.
   Rng die_rng(substream_seed(cfg.seed, static_cast<std::uint64_t>(die.id)));
 
-  // 1. Population statistics: MC SSTA at the all-low supply.
-  engine.compute_base(plan_->corners_for_severity(0));
+  // 1. Population statistics: MC SSTA at the all-low supply.  The level-0
+  // base restore and the systematic map are both cached — across dies
+  // (controller snapshots) and across the reticle slot (shared map).
+  ctrl.set_level(0);
   McConfig mcc = cfg.mc;
   mcc.seed = die_rng.next();
-  const McResult mc =
-      MonteCarloSsta(*design_, engine, *model_).run(die.location, mcc);
+  const McResult mc = MonteCarloSsta(*design_, engine, *model_)
+                          .run_with_systematic(systematic, mcc);
   out.mc_severity = mc.num_violating_stages();
   if (!mc.min_period_samples.empty()) {
     const double period_ns =
@@ -83,7 +95,6 @@ DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
   Rng fab_rng = die_rng.fork();
   const VirtualChip chip =
       fabricate_chip(*design_, *model_, die.location, fab_rng);
-  CompensationController ctrl(*design_, engine, *model_, *plan_, *sensors_);
   const CompensationOutcome comp = ctrl.compensate(chip, cfg.allow_escalation);
   out.detected_severity = comp.detected_severity;
   out.islands_raised = comp.islands_raised;
@@ -102,7 +113,7 @@ DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
     // Even all islands failed: the paper's chip-wide adaptive baseline.
     corners.assign(static_cast<std::size_t>(plan_->num_islands()) + 1,
                    kVddHigh);
-    engine.compute_base(corners);
+    ctrl.set_chip_wide();
     const StaResult truth = engine.analyze(ctrl.chip_factors(chip));
     out.wns_final_ns = truth.wns;
     if (truth.wns >= 0.0) {
@@ -177,15 +188,42 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   const std::vector<WaferDie>& dies = wafer.dies();
   report.dies.resize(dies.size());
 
-  const auto make_engine = [this] { return StaEngine(*sta_); };
-  const auto body = [&](StaEngine& engine, std::size_t i) {
-    report.dies[i] = analyze_die(engine, dies[i], cfg);
+  // Per-reticle-slot systematic Lgate maps: a die's location depends only
+  // on its (die_ix, die_iy) slot in the reticle, so every die of a slot
+  // shares the map — 4 polynomial evaluations over the netlist at the
+  // default 2x2 geometry instead of one per die.
+  const int side = wafer.dies_per_field_side();
+  std::vector<std::vector<double>> slot_maps(
+      static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  const auto slot_of = [side](const WaferDie& d) {
+    return static_cast<std::size_t>(d.die_iy) * static_cast<std::size_t>(side) +
+           static_cast<std::size_t>(d.die_ix);
+  };
+  for (const WaferDie& d : dies) {
+    auto& map = slot_maps[slot_of(d)];
+    if (map.empty()) map = model_->systematic_lgates(*design_, d.location);
+  }
+
+  // Worker state: an engine clone plus a persistent controller whose
+  // per-level base snapshots amortize NLDM delay calculation across all
+  // the dies a worker processes.
+  struct Worker {
+    explicit Worker(const YieldAnalyzer& a)
+        : engine(*a.sta_),
+          ctrl(*a.design_, engine, *a.model_, *a.plan_, *a.sensors_) {}
+    StaEngine engine;
+    CompensationController ctrl;
+  };
+  const auto make_worker = [this] { return std::make_shared<Worker>(*this); };
+  const auto body = [&](std::shared_ptr<Worker>& w, std::size_t i) {
+    report.dies[i] = analyze_die_with(w->engine, w->ctrl, dies[i], cfg,
+                                      slot_maps[slot_of(dies[i])]);
   };
   if (pool != nullptr) {
-    parallel_for(*pool, dies.size(), make_engine, body);
+    parallel_for(*pool, dies.size(), make_worker, body);
   } else {
-    StaEngine engine = make_engine();
-    for (std::size_t i = 0; i < dies.size(); ++i) body(engine, i);
+    auto w = make_worker();
+    for (std::size_t i = 0; i < dies.size(); ++i) body(w, i);
   }
 
   aggregate(report);

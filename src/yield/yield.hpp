@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "power/power.hpp"
@@ -149,8 +150,20 @@ class YieldAnalyzer {
   /// Single-die analysis on a caller-owned engine clone (the parallel
   /// loop's body; exposed for tests and custom drivers).  Leaves the
   /// engine's base delays at the die's final corner assignment.
+  /// Constructs a fresh controller and systematic map per call; the
+  /// wafer loop goes through analyze_die_with instead to reuse both.
   DieOutcome analyze_die(StaEngine& engine, const WaferDie& die,
                          const YieldConfig& cfg) const;
+
+  /// Worker-grade single-die analysis: `ctrl` must be a controller over
+  /// `engine` and persists across dies (its per-level base-delay
+  /// snapshots amortize NLDM delay calculation across every die the
+  /// worker sees); `systematic` is the die's systematic Lgate map —
+  /// shared by all dies of the same reticle slot.  Bit-identical to
+  /// analyze_die().
+  DieOutcome analyze_die_with(StaEngine& engine, CompensationController& ctrl,
+                              const WaferDie& die, const YieldConfig& cfg,
+                              std::span<const double> systematic) const;
 
  private:
   void aggregate(YieldReport& report) const;

@@ -95,11 +95,11 @@ TEST_F(CorrVariationTest, FieldInterpolatesSmoothly) {
   CorrelatedField f(100.0, 24, 1.0, rng);
   ASSERT_TRUE(f.active());
   // Continuity: tiny moves change the value only slightly.
-  const double v0 = f.at({250.0, 250.0});
-  const double v1 = f.at({251.0, 250.0});
+  const double v0 = f.at(Point{250.0, 250.0});
+  const double v1 = f.at(Point{251.0, 250.0});
   EXPECT_LT(std::abs(v1 - v0), 0.2);
   // Out-of-range positions clamp rather than blow up.
-  EXPECT_NO_THROW(f.at({1e6, -1e6}));
+  EXPECT_NO_THROW(f.at(Point{1e6, -1e6}));
 }
 
 // ---------- ABB baseline physics ---------------------------------------------

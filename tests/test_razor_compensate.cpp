@@ -187,6 +187,77 @@ TEST_F(CompensateFixture, EscalationIsRare) {
   EXPECT_LE(escalated, 6);
 }
 
+TEST_F(CompensateFixture, CompensateMatchesSequentialReferenceWalk) {
+  // compensate() evaluates the escalation tail as one multi-base
+  // analyze_batch_bases pass and caches compute_base outputs per level;
+  // both are pure execution-layout choices.  Reference: the historical
+  // one-level-at-a-time walk, recomputed from scratch on an engine copy.
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  Rng rng(40490);
+  for (int c = 0; c < 8; ++c) {
+    const VirtualChip chip =
+        fabricate_chip(*design_, *model_, worst_loc_, rng);
+    const CompensationOutcome out = ctrl.compensate(chip);
+
+    StaEngine eng(*sta_);
+    const auto factors_now = [&] {
+      std::vector<double> f(chip.lgate_nm.size());
+      for (InstId i = 0; i < f.size(); ++i) {
+        f[i] = model_->delay_factor(chip.lgate_nm[i], eng.inst_corner(i),
+                                    design_->cell_of(i).vth);
+      }
+      return f;
+    };
+    eng.compute_base(plan_->corners_for_severity(0));
+    const StaResult truth0 = eng.analyze(factors_now());
+    const auto flags = sensor_flags(eng, *razor_, truth0);
+    int detected = 0;
+    for (PipeStage s :
+         {PipeStage::Decode, PipeStage::Execute, PipeStage::WriteBack}) {
+      detected += flags[static_cast<std::size_t>(s)];
+    }
+    int k = detected;
+    StaResult truth{};
+    for (;; ++k) {
+      eng.compute_base(plan_->corners_for_severity(k));
+      truth = eng.analyze(factors_now());
+      if (truth.wns >= 0.0 || k >= plan_->num_islands()) break;
+    }
+
+    EXPECT_EQ(out.detected_severity, detected) << "chip " << c;
+    EXPECT_EQ(out.wns_before, truth0.wns) << "chip " << c;
+    EXPECT_EQ(out.islands_raised, k) << "chip " << c;
+    EXPECT_EQ(out.wns_after, truth.wns) << "chip " << c;  // bit-identical
+    EXPECT_EQ(out.timing_met, truth.wns >= 0.0) << "chip " << c;
+    EXPECT_EQ(out.escalated, k > detected) << "chip " << c;
+  }
+}
+
+TEST_F(CompensateFixture, SetLevelBitIdenticalToComputeBase) {
+  CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
+  StaEngine eng(*sta_);
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+    for (int k = plan_->num_islands(); k >= 0; --k) {
+      ctrl.set_level(k);
+      eng.compute_base(plan_->corners_for_severity(k));
+      const StaResult a = sta_->analyze();
+      const StaResult b = eng.analyze();
+      EXPECT_EQ(a.wns, b.wns) << "level " << k << " pass " << pass;
+      EXPECT_EQ(a.min_period_ns, b.min_period_ns)
+          << "level " << k << " pass " << pass;
+      for (InstId i = 0; i < design_->num_instances(); ++i) {
+        ASSERT_EQ(sta_->inst_corner(i), eng.inst_corner(i))
+            << "level " << k << " inst " << i;
+      }
+    }
+  }
+  ctrl.set_level(0);
+  sta_->compute_base_all_low();  // leave the shared engine as found
+  EXPECT_THROW(ctrl.set_level(-1), std::invalid_argument);
+  EXPECT_THROW(ctrl.set_level(plan_->num_islands() + 1),
+               std::invalid_argument);
+}
+
 TEST_F(CompensateFixture, ChipSizeMismatchRejected) {
   CompensationController ctrl(*design_, *sta_, *model_, *plan_, *razor_);
   VirtualChip bad;

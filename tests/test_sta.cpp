@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <vector>
@@ -264,6 +265,132 @@ TEST(StaVex, AnalyzeBatchBitIdenticalToScalar) {
       }
     }
   }
+}
+
+TEST(StaVex, AnalyzeBatchSoaBitIdenticalToAnalyzeBatch) {
+  // The SoA entry point is the batched draw engine's seam into the
+  // propagation kernel: handing it a transposed copy of the same lanes
+  // must reproduce analyze_batch (and therefore scalar analyze) exactly.
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  sta.set_clock_period(sta.min_period() * 1.005);
+
+  constexpr std::size_t width = 6;  // runtime-width path
+  Rng rng(0x50a50a5ULL);
+  const std::size_t n = d.num_instances();
+  std::vector<std::vector<double>> lanes(width);
+  std::vector<double> soa(n * width);
+  for (std::size_t b = 0; b < width; ++b) {
+    lanes[b].resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lanes[b][i] = rng.uniform(0.9, 1.15);
+      soa[i * width + b] = lanes[b][i];
+    }
+  }
+  std::vector<StaResult> from_lanes(width), from_soa(width);
+  sta.analyze_batch(std::span(lanes), std::span(from_lanes));
+  sta.analyze_batch_soa(soa, width, std::span(from_soa));
+  for (std::size_t b = 0; b < width; ++b) {
+    EXPECT_EQ(from_soa[b].wns, from_lanes[b].wns) << "lane " << b;
+    EXPECT_EQ(from_soa[b].tns, from_lanes[b].tns) << "lane " << b;
+    EXPECT_EQ(from_soa[b].min_period_ns, from_lanes[b].min_period_ns)
+        << "lane " << b;
+    for (std::size_t s = 0; s < kNumPipeStages; ++s) {
+      EXPECT_EQ(from_soa[b].stage_wns[s], from_lanes[b].stage_wns[s])
+          << "lane " << b << " stage " << s;
+    }
+    ASSERT_EQ(from_soa[b].endpoint_slack.size(),
+              from_lanes[b].endpoint_slack.size());
+    for (std::size_t k = 0; k < from_soa[b].endpoint_slack.size(); ++k) {
+      EXPECT_EQ(from_soa[b].endpoint_slack[k], from_lanes[b].endpoint_slack[k])
+          << "lane " << b << " endpoint " << k;
+    }
+  }
+}
+
+TEST(StaVex, AnalyzeBatchBasesBitIdenticalToRestoreAndAnalyze) {
+  // Multi-base batching (each lane under its OWN compute_base output) is
+  // what lets the compensation controller test every escalation level in
+  // one pass.  Reference: restore_bases + scalar analyze per lane.
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  // Three position-sliced domains so the corner assignments differ.
+  const Rect& die = fp.die();
+  for (InstId i = 0; i < d.num_instances(); ++i) {
+    const double frac = (d.instance(i).pos.x - die.lo.x) / die.width();
+    d.instance(i).domain =
+        static_cast<DomainId>(std::min(2, static_cast<int>(frac * 3)));
+  }
+  StaEngine sta(d, StaOptions{});
+  sta.set_clock_period(sta.min_period() * 1.02);
+
+  std::vector<StaEngine::BaseSnapshot> snaps;
+  for (int raised : {0, 1, 2, 3}) {
+    std::vector<int> corners(3, kVddLow);
+    for (int k = 0; k < raised; ++k) corners[static_cast<std::size_t>(k)] =
+        kVddHigh;
+    sta.compute_base(corners);
+    snaps.push_back(sta.snapshot_bases());
+  }
+
+  const std::size_t width = snaps.size();
+  Rng rng(0xface0ffULL);
+  std::vector<std::vector<double>> factors(width);
+  std::vector<const StaEngine::BaseSnapshot*> bases(width);
+  for (std::size_t b = 0; b < width; ++b) {
+    factors[b].resize(d.num_instances());
+    for (auto& f : factors[b]) f = rng.uniform(0.92, 1.12);
+    bases[b] = &snaps[b];
+  }
+  factors[2].clear();  // empty lane = nominal factors, a supported input
+
+  std::vector<StaResult> batch(width);
+  sta.analyze_batch_bases(bases, factors, std::span(batch));
+  for (std::size_t b = 0; b < width; ++b) {
+    sta.restore_bases(snaps[b]);
+    const StaResult scalar =
+        factors[b].empty() ? sta.analyze() : sta.analyze(factors[b]);
+    EXPECT_EQ(batch[b].wns, scalar.wns) << "lane " << b;
+    EXPECT_EQ(batch[b].tns, scalar.tns) << "lane " << b;
+    EXPECT_EQ(batch[b].min_period_ns, scalar.min_period_ns) << "lane " << b;
+    for (std::size_t s = 0; s < kNumPipeStages; ++s) {
+      EXPECT_EQ(batch[b].stage_wns[s], scalar.stage_wns[s])
+          << "lane " << b << " stage " << s;
+    }
+    ASSERT_EQ(batch[b].endpoint_slack.size(), scalar.endpoint_slack.size());
+    for (std::size_t k = 0; k < scalar.endpoint_slack.size(); ++k) {
+      EXPECT_EQ(batch[b].endpoint_slack[k], scalar.endpoint_slack[k])
+          << "lane " << b << " endpoint " << k;
+    }
+  }
+}
+
+TEST(StaVex, SnapshotRestoreRoundTrips) {
+  Library lib = make_st65lp_like();
+  Design d = make_vex_design(lib, VexConfig::tiny());
+  Floorplan fp = Floorplan::for_design(d, FloorplanConfig{});
+  PlacementDb db(fp);
+  place_design(d, fp, PlacerConfig{}, db);
+  StaEngine sta(d, StaOptions{});
+  sta.set_clock_period(sta.min_period() * 1.01);
+  const StaResult before = sta.analyze();
+  const StaEngine::BaseSnapshot snap = sta.snapshot_bases();
+  // Perturb the engine with a different corner assignment...
+  for (InstId i = 0; i < d.num_instances(); ++i) d.instance(i).domain = 1;
+  sta.compute_base(std::vector<int>{kVddLow, kVddHigh});
+  EXPECT_NE(sta.analyze().wns, before.wns);
+  // ...then restore: bit-identical to the snapshot's analysis.
+  sta.restore_bases(snap);
+  const StaResult after = sta.analyze();
+  EXPECT_EQ(after.wns, before.wns);
+  EXPECT_EQ(after.min_period_ns, before.min_period_ns);
 }
 
 TEST(StaVex, AnalyzeBatchRejectsBadInput) {

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <set>
 #include <vector>
 
@@ -154,6 +156,93 @@ TEST(Rng, SubstreamSeedsDecorrelate) {
   auto a = draw(s0, n);
   auto b = draw(s1, n);
   EXPECT_LT(std::abs(correlation(a, b)), bound);
+}
+
+// ---- bulk normal generation (the batched draw profile's engine) ----------
+
+TEST(RngNormals, Moments) {
+  Rng rng(0xb0b);
+  std::vector<double> z(100000);
+  rng.normals(z);
+  RunningStats rs;
+  for (double x : z) rs.add(x);
+  EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.02);
+}
+
+TEST(RngNormals, KolmogorovSmirnovAgainstStdNormal) {
+  // One-sample KS test at alpha = 0.01: D_n < 1.63 / sqrt(n).  Catches a
+  // broken transform (wrong tail, wrong scale) that moments alone miss.
+  constexpr std::size_t n = 4096;
+  Rng rng(0xd15ea5e);
+  std::vector<double> z(n);
+  rng.normals(z);
+  std::sort(z.begin(), z.end());
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cdf = 0.5 * std::erfc(-z[i] / std::numbers::sqrt2);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(cdf - hi)});
+  }
+  EXPECT_LT(d, 1.63 / std::sqrt(static_cast<double>(n)));
+}
+
+TEST(RngNormals, DeterministicAndPrefixStable) {
+  const auto fill = [](std::size_t n) {
+    Rng rng(0xabcdef);
+    std::vector<double> z(n);
+    rng.normals(z);
+    return z;
+  };
+  const std::vector<double> ref = fill(1000);
+  EXPECT_EQ(ref, fill(1000));  // bit-identical rerun
+  // normals(m) is a prefix of normals(n) for m <= n — including odd
+  // lengths (which drop the second deviate of their last pair) and
+  // lengths that straddle the vector-fill block boundary.
+  for (std::size_t m : {1u, 2u, 7u, 127u, 255u, 256u, 257u, 999u}) {
+    const std::vector<double> zm = fill(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(zm[i], ref[i]) << "prefix length " << m << " index " << i;
+    }
+  }
+}
+
+TEST(RngNormals, ConsumesExactlyTwoParentDraws) {
+  // The draw count is independent of the fill size: the two next() calls
+  // key the counter streams, the counters supply everything else.
+  for (std::size_t n : {3u, 4096u}) {
+    Rng a(7), b(7);
+    std::vector<double> z(n);
+    a.normals(z);
+    b.next();
+    b.next();
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(a.next(), b.next()) << "fill size " << n;
+    }
+  }
+}
+
+TEST(RngNormals, SubstreamsDecorrelate) {
+  // Adjacent per-sample substreams — exactly how draw_factors_batch keys
+  // its lanes — must be independent.
+  constexpr std::size_t n = 4096;
+  const double bound = 4.0 / std::sqrt(static_cast<double>(n));
+  Rng s0(substream_seed(0x5eed, 0));
+  Rng s1(substream_seed(0x5eed, 1));
+  std::vector<double> a(n), b(n);
+  s0.normals(a);
+  s1.normals(b);
+  EXPECT_LT(std::abs(correlation(a, b)), bound);
+  // And the two counter streams WITHIN one fill must not correlate the
+  // even/odd halves of a pair.
+  std::vector<double> even(n / 2), odd(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    even[i] = a[2 * i];
+    odd[i] = a[2 * i + 1];
+  }
+  EXPECT_LT(std::abs(correlation(even, odd)),
+            4.0 / std::sqrt(static_cast<double>(n / 2)));
 }
 
 TEST(Splitmix, KnownExpansion) {

@@ -282,5 +282,163 @@ TEST_F(McFixture, BitIdenticalAcrossBatchWidths) {
   }
 }
 
+// ---- the Batched draw profile ---------------------------------------------
+
+/// Within the Batched profile, thread count and batch width are pure
+/// execution-layout choices, exactly as they are for Scalar: every lane's
+/// bits derive from (seed, global sample index) alone.
+TEST_F(McFixture, BatchedProfileBitIdenticalAcrossThreadsAndWidths) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 60;  // not a multiple of the batch width: ragged tail
+  cfg.profile = DrawProfile::Batched;
+  const McResult ref = mc.run(DieLocation::point('A'), cfg);  // batch 8
+  ThreadPool one(1), three(3), eight(8);
+  expect_identical(ref, mc.run(DieLocation::point('A'), cfg, &one));
+  expect_identical(ref, mc.run(DieLocation::point('A'), cfg, &eight));
+  for (int batch : {1, 7, 32}) {
+    McConfig c = cfg;
+    c.batch = batch;
+    expect_identical(ref, mc.run(DieLocation::point('A'), c));
+    expect_identical(ref, mc.run(DieLocation::point('A'), c, &three));
+  }
+}
+
+/// The two profiles draw from different streams (bit-different by
+/// design) but estimate the same population: their stage-slack fits must
+/// agree to sampling error.  8 standard errors = far beyond noise, still
+/// tight enough to catch a biased table or a broken bulk generator.
+TEST_F(McFixture, BatchedProfileAgreesWithScalarStatistically) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 400;
+  const McResult scalar = mc.run(DieLocation::point('A'), cfg);
+  cfg.profile = DrawProfile::Batched;
+  const McResult batched = mc.run(DieLocation::point('A'), cfg);
+  const int n = cfg.samples;
+  for (int s = 0; s < kNumPipeStages; ++s) {
+    const auto& sa = scalar.stages[static_cast<std::size_t>(s)];
+    const auto& sb = batched.stages[static_cast<std::size_t>(s)];
+    ASSERT_EQ(sa.present, sb.present) << "stage " << s;
+    if (!sa.present) continue;
+    const double sigma = std::max(sa.fit.stddev, sb.fit.stddev);
+    EXPECT_NEAR(sa.fit.mean, sb.fit.mean,
+                8.0 * std::max(sigma * std::sqrt(2.0 / n), 1e-12))
+        << "stage " << s;
+    ASSERT_GT(sa.fit.stddev, 0.0);
+    ASSERT_GT(sb.fit.stddev, 0.0);
+    EXPECT_LT(std::abs(std::log(sb.fit.stddev / sa.fit.stddev)),
+              8.0 / std::sqrt(static_cast<double>(n - 1)))
+        << "stage " << s;
+  }
+  // And at least one sample differs: the profiles are genuinely
+  // different streams, not an aliased code path.
+  const auto& ex_a = scalar.stage(PipeStage::Execute).samples;
+  const auto& ex_b = batched.stage(PipeStage::Execute).samples;
+  ASSERT_EQ(ex_a.size(), ex_b.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ex_a.size(); ++i) any_diff |= ex_a[i] != ex_b[i];
+  EXPECT_TRUE(any_diff);
+}
+
+// ---- delay-factor interpolation tables ------------------------------------
+
+TEST_F(ModelTest, DelayFactorTablesBoundTheirError) {
+  const DelayFactorTables& tables = model_.delay_factor_tables();
+  ASSERT_TRUE(tables.built());
+  // The builder measured its own max relative error on a refinement
+  // grid; the bound must be tiny against the 6.5 % process sigma being
+  // modeled...
+  EXPECT_LT(tables.max_rel_error(), 1e-6);
+  EXPECT_GT(tables.max_rel_error(), 0.0);
+  // ...and must actually HOLD against the exact pow-based quotient on a
+  // probe grid unrelated to the builder's own.
+  const double lo = tables.lo_nm();
+  const double hi = tables.hi_nm();
+  EXPECT_LT(lo, cp_.lgate_nom);
+  EXPECT_GT(hi, cp_.lgate_nom);
+  double measured = 0.0;
+  for (int corner : {kVddLow, kVddHigh}) {
+    for (int v = 0; v < kNumVthClasses; ++v) {
+      const auto vth = static_cast<VthClass>(v);
+      for (int i = 0; i <= 1237; ++i) {
+        const double l = lo + (hi - lo) * i / 1237.0;
+        const double exact = model_.delay_factor(l, corner, vth);
+        const double approx = tables.eval(l, corner, vth);
+        measured = std::max(measured, std::abs(approx - exact) / exact);
+      }
+    }
+  }
+  EXPECT_LE(measured, tables.max_rel_error() * 1.0001);
+}
+
+TEST_F(ModelTest, DelayFactorTablesClampOutsideRange) {
+  const DelayFactorTables& tables = model_.delay_factor_tables();
+  const double below = tables.eval(tables.lo_nm() - 5.0, kVddLow,
+                                   VthClass::Svt);
+  const double above = tables.eval(tables.hi_nm() + 5.0, kVddLow,
+                                   VthClass::Svt);
+  EXPECT_TRUE(std::isfinite(below));
+  EXPECT_TRUE(std::isfinite(above));
+  EXPECT_LT(below, above);  // still monotone through the clamp
+}
+
+// ---- correlated-field stencils --------------------------------------------
+
+TEST_F(McFixture, StencilDrawBitIdenticalToPointDraw) {
+  // With a correlated within-die component active, the stencil-hoisted
+  // scalar draw must reproduce the direct at(Point) draw bit-for-bit.
+  VariationConfig vc;
+  vc.correlated_fraction = 0.8;
+  const VariationModel model(lib_.char_params(), *field_, vc);
+  const auto systematic =
+      model.systematic_lgates(design_, DieLocation::point('B'));
+  const auto stencils = model.field_stencils(design_);
+  ASSERT_EQ(stencils.size(), design_.num_instances());
+  std::vector<double> direct, hoisted;
+  Rng r1(123), r2(123);
+  model.draw_factors(design_, *sta_, systematic, r1, direct);
+  model.draw_factors(design_, *sta_, systematic, stencils, r2, hoisted);
+  ASSERT_EQ(direct.size(), hoisted.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], hoisted[i]) << "inst " << i;
+  }
+  // Both consumed the same stream.
+  EXPECT_EQ(r1.next(), r2.next());
+}
+
+TEST_F(McFixture, BatchedProfileDeterministicWithCorrelatedField) {
+  // The correlated bulk field draw is part of the lane's substream: the
+  // profile's thread/width invariance must survive it.
+  VariationConfig vc;
+  vc.correlated_fraction = 0.5;
+  const VariationModel model(lib_.char_params(), *field_, vc);
+  MonteCarloSsta mc(design_, *sta_, model);
+  McConfig cfg;
+  cfg.samples = 36;
+  cfg.profile = DrawProfile::Batched;
+  const McResult ref = mc.run(DieLocation::point('A'), cfg);
+  ThreadPool pool(5);
+  for (int batch : {3, 16}) {
+    McConfig c = cfg;
+    c.batch = batch;
+    expect_identical(ref, mc.run(DieLocation::point('A'), c));
+    expect_identical(ref, mc.run(DieLocation::point('A'), c, &pool));
+  }
+}
+
+/// run_with_systematic against the map run() derives internally must be
+/// a pure refactoring seam: bit-identical results.
+TEST_F(McFixture, RunWithSystematicMatchesRun) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.samples = 40;
+  const DieLocation loc = DieLocation::point('C');
+  const auto systematic = model_->systematic_lgates(design_, loc);
+  expect_identical(mc.run(loc, cfg), mc.run_with_systematic(systematic, cfg));
+  cfg.profile = DrawProfile::Batched;
+  expect_identical(mc.run(loc, cfg), mc.run_with_systematic(systematic, cfg));
+}
+
 }  // namespace
 }  // namespace vipvt

@@ -247,6 +247,102 @@ TEST_F(YieldFixture, JsonIsWellFormedEnoughToGrep) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+// A die's location within the exposure field depends only on its
+// (die_ix, die_iy) reticle slot, so the wafer loop computes ONE
+// systematic Lgate map per slot and shares it.  The cached map must be
+// exactly what a fresh per-die evaluation would produce.
+TEST_F(YieldFixture, ReticleSlotSystematicMapsMatchPerDieEvaluation) {
+  const VariationModel& model = flow_->variation();
+  const int side = wafer_->dies_per_field_side();
+  std::vector<std::vector<double>> slot_maps(
+      static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  std::size_t evaluations = 0;
+  for (const WaferDie& d : wafer_->dies()) {
+    const std::size_t slot =
+        static_cast<std::size_t>(d.die_iy) * static_cast<std::size_t>(side) +
+        static_cast<std::size_t>(d.die_ix);
+    ASSERT_LT(slot, slot_maps.size());
+    auto& map = slot_maps[slot];
+    if (map.empty()) {
+      map = model.systematic_lgates(flow_->design(), d.location);
+      ++evaluations;
+    }
+    // The shared map is bit-identical to this die's own evaluation.
+    const std::vector<double> own =
+        model.systematic_lgates(flow_->design(), d.location);
+    ASSERT_EQ(own.size(), map.size());
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      ASSERT_EQ(own[i], map[i]) << "die " << d.id << " instance " << i;
+    }
+  }
+  // The cache actually collapses the wafer to one evaluation per slot.
+  EXPECT_EQ(evaluations, static_cast<std::size_t>(side) *
+                             static_cast<std::size_t>(side));
+  EXPECT_LT(evaluations, wafer_->num_dies());
+}
+
+// analyze_die_with (persistent controller + shared systematic map — the
+// wafer loop's worker path) must be bit-identical to the fresh-state
+// analyze_die, including when one controller carries its level-snapshot
+// cache across many dies.
+TEST_F(YieldFixture, AnalyzeDieWithMatchesAnalyzeDie) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  const YieldConfig cfg = test_yield_config();
+  const VariationModel& model = flow_->variation();
+
+  StaEngine fresh_engine(flow_->sta());
+  StaEngine worker_engine(flow_->sta());
+  CompensationController worker_ctrl(flow_->design(), worker_engine, model,
+                                     flow_->island_plan(),
+                                     flow_->razor_plan());
+
+  // A handful of dies spread across the wafer, processed back-to-back on
+  // the same worker state (the cache-reuse case the contract covers).
+  const std::vector<WaferDie>& dies = wafer_->dies();
+  for (std::size_t i = 0; i < dies.size(); i += 17) {
+    const WaferDie& die = dies[i];
+    const DieOutcome a = analyzer.analyze_die(fresh_engine, die, cfg);
+    const std::vector<double> systematic =
+        model.systematic_lgates(flow_->design(), die.location);
+    const DieOutcome b =
+        analyzer.analyze_die_with(worker_engine, worker_ctrl, die, cfg,
+                                  systematic);
+    EXPECT_EQ(a.die_id, b.die_id);
+    EXPECT_EQ(a.mc_severity, b.mc_severity);
+    EXPECT_EQ(a.detected_severity, b.detected_severity);
+    EXPECT_EQ(a.islands_raised, b.islands_raised);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.timing_met, b.timing_met);
+    EXPECT_EQ(a.escalated, b.escalated);
+    EXPECT_EQ(a.missed_violation, b.missed_violation);
+    EXPECT_EQ(a.wns_all_low_ns, b.wns_all_low_ns) << "die " << die.id;
+    EXPECT_EQ(a.wns_final_ns, b.wns_final_ns) << "die " << die.id;
+    EXPECT_EQ(a.fmax_ghz, b.fmax_ghz) << "die " << die.id;
+    EXPECT_EQ(a.total_mw, b.total_mw) << "die " << die.id;
+    EXPECT_EQ(a.leakage_mw, b.leakage_mw) << "die " << die.id;
+  }
+}
+
+// The Batched draw profile carries the same determinism-under-
+// parallelism contract as Scalar: identical wafer reports for serial,
+// 1-thread and N-thread runs (within the profile).
+TEST_F(YieldFixture, BatchedProfileReportBitIdenticalAcrossThreadCounts) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  YieldConfig cfg = test_yield_config();
+  cfg.mc.profile = DrawProfile::Batched;
+  const YieldReport serial = analyzer.analyze(*wafer_, cfg, nullptr);
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const YieldReport one_thread = analyzer.analyze(*wafer_, cfg, &one);
+  const YieldReport four_thread = analyzer.analyze(*wafer_, cfg, &four);
+  const std::string reference = serialize(*wafer_, serial);
+  EXPECT_EQ(serialize(*wafer_, one_thread), reference);
+  EXPECT_EQ(serialize(*wafer_, four_thread), reference);
+  // Distinct stream from the Scalar profile by design (compared
+  // statistically in bench/mc_ssta, not bit-wise here).
+  EXPECT_NE(reference, serialize(*wafer_, *report_));
+}
+
 TEST(YieldGuards, FromFlowRequiresSensorsAndActivity) {
   Flow flow(tiny_flow_config());
   EXPECT_FALSE(flow.characterized());
