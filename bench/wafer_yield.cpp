@@ -15,11 +15,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <thread>
 
 #include "io/yield_writers.hpp"
+#include "timing/sta.hpp"
 #include "util/table.hpp"
+#include "vi/islands.hpp"
 #include "yield/wafer.hpp"
 #include "yield/yield.hpp"
 
@@ -152,6 +155,131 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", bt.render().c_str());
+
+  // Escalation-level re-corner cost: inside the yield loop, each
+  // worker's CompensationController caches one BaseSnapshot per
+  // escalation level of its persistent StaEngine, and compensate()
+  // analyzes the engine after every set_level().  Since the incremental
+  // re-corner landed (DESIGN.md §12), only the FIRST level a worker
+  // touches pays a full NLDM compute_base(); every other level is
+  // delta-built from the nearest cached neighbour with
+  // StaEngine::recorner_delta.  Measure the per-level re-corner cost
+  // both ways — full compute_base()+analyze() at each level vs a warm
+  // recorner_delta flip into it (level k differs from k-1 only in
+  // domain k) — and hard-gate on the delta-built snapshots being
+  // byte-identical to the full ones at every level (the controller's
+  // correctness contract).
+  const IslandPlan& plan = flow.island_plan();
+  if (const int levels = plan.num_islands(); levels > 0) {
+    constexpr int kReps = 40;
+    StaEngine full_eng(flow.sta());
+    StaEngine delta_eng(flow.sta());
+    std::vector<double> full_us(static_cast<std::size_t>(levels) + 1, 0.0);
+    std::vector<double> delta_us(static_cast<std::size_t>(levels) + 1, 0.0);
+
+    // Reference snapshot per level from the full path, taken once.
+    std::vector<StaEngine::BaseSnapshot> ref;
+    for (int k = 0; k <= levels; ++k) {
+      full_eng.compute_base(plan.corners_for_severity(k));
+      ref.push_back(full_eng.snapshot_bases());
+    }
+    const auto floats_same = [](const std::vector<float>& a,
+                                const std::vector<float>& b) {
+      return a.size() == b.size() &&
+             std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+    };
+    const auto snap_same = [&](const StaEngine::BaseSnapshot& got,
+                               const StaEngine::BaseSnapshot& want) {
+      return floats_same(got.edge_base, want.edge_base) &&
+             floats_same(got.launch_base, want.launch_base) &&
+             floats_same(got.slew, want.slew) &&
+             got.inst_corner == want.inst_corner;
+    };
+
+    // The one full computation the delta-chained controller pays, plus
+    // one untimed flip so the nominal-arrival cache is warm (a worker's
+    // very first recorner_delta after compute_base pays one full arrival
+    // propagation; every later one is cone-bounded).
+    double delta_level0_us;
+    {
+      const auto t0 = clock::now();
+      delta_eng.compute_base(plan.corners_for_severity(0));
+      delta_eng.analyze({});
+      const std::chrono::duration<double, std::micro> dt = clock::now() - t0;
+      delta_level0_us = dt.count();
+    }
+    delta_eng.recorner_delta(1, kVddHigh);
+    const StaEngine::RecornerStats warm_stats = delta_eng.recorner_stats();
+    delta_eng.recorner_delta(1, kVddLow);
+    std::printf("island 1 fan-out cone: %zu/%zu nodes (%.0f %%)%s\n",
+                warm_stats.cone_nodes, delta_eng.num_nodes(),
+                100.0 * static_cast<double>(warm_stats.cone_nodes) /
+                    static_cast<double>(delta_eng.num_nodes()),
+                warm_stats.full_fallback ? ", full fallback" : "");
+
+    bool identical = snap_same(delta_eng.snapshot_bases(), ref[0]);
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (int k = 0; k <= levels; ++k) {
+        const auto t0 = clock::now();
+        full_eng.compute_base(plan.corners_for_severity(k));
+        full_eng.analyze({});
+        const std::chrono::duration<double, std::micro> dt = clock::now() - t0;
+        full_us[static_cast<std::size_t>(k)] += dt.count();
+      }
+      // Climb the ladder: flip domain k high to move level k-1 -> k.
+      for (int k = 1; k <= levels; ++k) {
+        const auto t0 = clock::now();
+        delta_eng.recorner_delta(static_cast<DomainId>(k), kVddHigh);
+        const std::chrono::duration<double, std::micro> dt = clock::now() - t0;
+        delta_us[static_cast<std::size_t>(k)] += dt.count();
+        if (rep == 0) {
+          identical = identical &&
+                      snap_same(delta_eng.snapshot_bases(),
+                                ref[static_cast<std::size_t>(k)]);
+        }
+      }
+      // Walk back down (untimed) so the next rep climbs again.
+      for (int k = levels; k >= 1; --k) {
+        delta_eng.recorner_delta(static_cast<DomainId>(k), kVddLow);
+      }
+    }
+
+    double full_total = 0.0, delta_total = delta_level0_us;
+    Table lt({"level", "full [us]", "delta [us]", "speedup"});
+    for (int k = 0; k <= levels; ++k) {
+      const double f = full_us[static_cast<std::size_t>(k)] / kReps;
+      const double d = k == 0 ? delta_level0_us
+                              : delta_us[static_cast<std::size_t>(k)] / kReps;
+      full_total += f;
+      if (k > 0) delta_total += d;
+      char label[32];
+      std::snprintf(label, sizeof label, "%d%s", k, k == 0 ? " (full)" : "");
+      lt.add_row({label, Table::num(f, 1), Table::num(d, 1),
+                  k == 0 ? "-" : Table::num(f / d, 2)});
+      char key[64];
+      std::snprintf(key, sizeof key, "level%d_full_us", k);
+      out.set(key, f);
+      std::snprintf(key, sizeof key, "level%d_delta_us", k);
+      out.set(key, d);
+    }
+    std::printf("escalation re-corner cost (%d levels, mean of %d reps, "
+                "snapshots %s):\n%s\n",
+                levels + 1, kReps,
+                identical ? "byte-identical" : "DIVERGED", lt.render().c_str());
+    std::printf("all levels: %d fulls %.0f us vs 1 full + %d deltas %.0f us "
+                "-> %.2fx\n\n",
+                levels + 1, full_total, levels, delta_total,
+                full_total / delta_total);
+    out.set("level_warmup_levels", levels + 1);
+    out.set("level_warmup_full_us", full_total);
+    out.set("level_warmup_delta_us", delta_total);
+    out.set("level_warmup_speedup", full_total / delta_total);
+    if (!identical) {
+      std::printf("DETERMINISM VIOLATION: recorner_delta level snapshots "
+                  "diverged from full compute_base\n");
+      return 1;
+    }
+  }
 
   std::printf("yield: %.1f %% parametric (%zu/%zu shipped), "
               "policy mix: %zu all-low / %zu islands / %zu chip-wide / %zu discard\n",

@@ -49,7 +49,28 @@ const StaEngine::BaseSnapshot& CompensationController::level_snapshot(int k) {
   }
   auto& slot = level_snaps_[static_cast<std::size_t>(k)];
   if (slot == nullptr) {
-    sta_->compute_base(plan_->corners_for_severity(k));
+    // Delta-build from the nearest already-cached level: restoring that
+    // snapshot and flipping one island per step through recorner_delta()
+    // costs O(changed cones) per level instead of a full compute_base(),
+    // and lands on bit-identical bases (DESIGN.md §12).  Level k differs
+    // from k-1 only in domain k (corners_for_severity raises domains
+    // 1..k), so the walk flips domain t to high going up, low going down.
+    int nearest = -1;
+    for (int j = 0; j < static_cast<int>(level_snaps_.size()); ++j) {
+      if (level_snaps_[static_cast<std::size_t>(j)] == nullptr) continue;
+      if (nearest < 0 || std::abs(j - k) < std::abs(nearest - k)) nearest = j;
+    }
+    if (nearest < 0) {
+      sta_->compute_base(plan_->corners_for_severity(k));
+    } else {
+      sta_->restore_bases(*level_snaps_[static_cast<std::size_t>(nearest)]);
+      for (int t = nearest + 1; t <= k; ++t) {
+        sta_->recorner_delta(static_cast<DomainId>(t), kVddHigh);
+      }
+      for (int t = nearest; t > k; --t) {
+        sta_->recorner_delta(static_cast<DomainId>(t), kVddLow);
+      }
+    }
     slot = std::make_unique<StaEngine::BaseSnapshot>(sta_->snapshot_bases());
   }
   return *slot;

@@ -60,10 +60,13 @@ class CompensationController {
 
   /// Restore the engine's base delays for severity level k — bit-
   /// identical to sta.compute_base(plan.corners_for_severity(k)), but
-  /// the full NLDM delay calculation runs only on the first use of each
-  /// level: the snapshot is cached for the controller's lifetime, so a
-  /// wafer worker reusing one controller across dies pays it once per
-  /// level, not once per die.
+  /// full NLDM delay calculation runs at most ONCE per controller: the
+  /// first level requested is computed in full, and every other level's
+  /// snapshot is delta-built from the nearest cached neighbour with
+  /// StaEngine::recorner_delta (one island flip per step, cost bounded
+  /// by the flipped domain's fan-out cone — DESIGN.md §12).  Snapshots
+  /// are cached for the controller's lifetime, so a wafer worker reusing
+  /// one controller across dies pays each level once, not once per die.
   void set_level(int k);
 
   /// Same, for the chip-wide all-high fallback assignment (the yield
@@ -80,8 +83,9 @@ class CompensationController {
   const VariationModel* model_;
   const IslandPlan* plan_;
   const RazorPlan* sensors_;
-  /// Cached compute_base() outputs: index 0..num_islands per severity
-  /// level, plus the chip-wide fallback.  Lazily filled.
+  /// Cached per-level base snapshots (index 0..num_islands per severity
+  /// level, plus the chip-wide fallback), lazily filled — the first via
+  /// compute_base(), the rest delta-built with recorner_delta().
   std::vector<std::unique_ptr<StaEngine::BaseSnapshot>> level_snaps_;
   std::unique_ptr<StaEngine::BaseSnapshot> chip_wide_snap_;
 };
