@@ -21,7 +21,13 @@
 //   7. a statistical scalar-vs-batched gate: the two profiles use
 //      different (equally valid) random streams, so their stage-slack
 //      fits must agree to sampling error — disagreement beyond ~8
-//      standard errors means one of the engines is wrong.
+//      standard errors means one of the engines is wrong;
+//   8. incremental re-cornering (recorner_delta vs full compute_base)
+//      over a single-island escalation ladder;
+//   9. adaptive sequential sampling vs the fixed budget at an equal
+//      a-priori CI target: sample savings (soft), plus the hard
+//      prefix-equivalence gate — the adaptive run stopping at N must be
+//      bit-identical to a fixed run with samples = N, serial and pooled.
 //
 // Scalar-profile configurations must reproduce the scalar-serial
 // reference bit-for-bit; Batched-profile configurations must reproduce
@@ -491,6 +497,98 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 9. Adaptive sequential sampling vs the fixed budget (DESIGN.md §14).
+  // The CI target is fixed a priori off the scalar reference fits: pin
+  // every stage's sigma to +/-15 % and its mean to +/-40 % of the worst
+  // stage sigma, at 95 % — a precision the fixed budget comfortably
+  // overshoots, so a correct sequential rule stops well short of it
+  // (sample savings, soft target).  The hard gate is prefix equivalence:
+  // the adaptive run stopping at N must fingerprint identically to a
+  // fixed run with samples = N, serial AND pooled.
+  bool adaptive_identical = true;
+  int adaptive_n = 0;
+  double adaptive_savings = 0.0;
+  {
+    const int fixed_budget = std::min(samples, 500);
+    double sigma_max = 0.0;
+    for (const auto& sd : scalar_ref.stages) {
+      if (sd.present) sigma_max = std::max(sigma_max, sd.fit.stddev);
+    }
+
+    McConfig acfg = base;
+    acfg.adaptive.enabled = true;
+    acfg.adaptive.min_samples = 32;
+    acfg.adaptive.max_samples = fixed_budget;
+    acfg.adaptive.check_every_batches = 2;
+    acfg.adaptive.sigma_half_width_ns = 0.15 * sigma_max;
+    acfg.adaptive.mean_half_width_ns = 0.40 * sigma_max;
+
+    t0 = clock::now();
+    const McResult adaptive = mc.run(loc, acfg);
+    const std::chrono::duration<double> adaptive_s = clock::now() - t0;
+    adaptive_n = adaptive.samples;
+    const std::string adaptive_fp = fingerprint(adaptive);
+
+    ThreadPool pool(std::min(4u, hw));
+    t0 = clock::now();
+    const McResult adaptive_pooled = mc.run(loc, acfg, &pool);
+    const std::chrono::duration<double> adaptive_pool_s = clock::now() - t0;
+    const bool pooled_same = fingerprint(adaptive_pooled) == adaptive_fp &&
+                             adaptive_pooled.samples == adaptive_n;
+    adaptive_identical &= pooled_same;
+
+    McConfig fcfg = base;
+    fcfg.samples = adaptive_n;
+    const bool fixed_same = fingerprint(mc.run(loc, fcfg)) == adaptive_fp;
+    const bool fixed_pool_same =
+        fingerprint(mc.run(loc, fcfg, &pool)) == adaptive_fp;
+    adaptive_identical &= fixed_same && fixed_pool_same;
+
+    fcfg.samples = fixed_budget;
+    t0 = clock::now();
+    (void)mc.run(loc, fcfg);
+    const std::chrono::duration<double> fixed_s = clock::now() - t0;
+
+    adaptive_savings =
+        1.0 - static_cast<double>(adaptive_n) / fixed_budget;
+    Table at({"config", "samples", "wall [s]", "stop", "identical"});
+    at.add_row({"fixed budget", std::to_string(fixed_budget),
+                Table::num(fixed_s.count(), 3), "fixed-budget", "-"});
+    at.add_row({"adaptive serial", std::to_string(adaptive_n),
+                Table::num(adaptive_s.count(), 3),
+                mc_stop_name(adaptive.stopping_reason), "ref"});
+    at.add_row({"adaptive pooled", std::to_string(adaptive_pooled.samples),
+                Table::num(adaptive_pool_s.count(), 3),
+                mc_stop_name(adaptive_pooled.stopping_reason),
+                pooled_same ? "yes" : "NO (BUG)"});
+    char nlabel[40];
+    std::snprintf(nlabel, sizeof nlabel, "fixed at N=%d", adaptive_n);
+    at.add_row({nlabel, std::to_string(adaptive_n), "-", "fixed-budget",
+                fixed_same && fixed_pool_same ? "yes" : "NO (BUG)"});
+    std::printf("adaptive sampling (sigma hw <= %.4g ns, mean hw <= %.4g ns "
+                "at 95 %%):\n%s",
+                acfg.adaptive.sigma_half_width_ns,
+                acfg.adaptive.mean_half_width_ns, at.render().c_str());
+    std::printf("convergence:");
+    for (const McRound& r : adaptive.convergence) {
+      std::printf(" %d:%.4f/%.4f", r.samples, r.worst_mean_half_width_ns,
+                  r.worst_sigma_half_width_ns);
+    }
+    std::printf("  -> %s, %.1f%% of the fixed budget never drawn\n\n",
+                mc_stop_name(adaptive.stopping_reason),
+                100.0 * adaptive_savings);
+
+    out.set("adaptive_fixed_budget", fixed_budget);
+    out.set("adaptive_samples", adaptive_n);
+    out.set("adaptive_rounds", static_cast<double>(adaptive.convergence.size()));
+    out.set("adaptive_converged",
+            adaptive.stopping_reason == McStop::Converged ? 1.0 : 0.0);
+    out.set("adaptive_sample_savings", adaptive_savings);
+    out.set("adaptive_wall_s", adaptive_s.count());
+    out.set("adaptive_fixed_budget_wall_s", fixed_s.count());
+    out.set("adaptive_speedup_vs_fixed", fixed_s.count() / adaptive_s.count());
+  }
+
   out.write(bench::out_path(argc, argv, "BENCH_mc.json"));
 
   if (!all_identical) {
@@ -514,6 +612,16 @@ int main(int argc, char** argv) {
     std::printf("DETERMINISM VIOLATION: recorner_delta diverged from the "
                 "full compute_base+analyze re-corner\n");
     return 1;
+  }
+  if (!adaptive_identical) {
+    std::printf("DETERMINISM VIOLATION: the adaptive run stopping at N=%d "
+                "is not bit-identical to a fixed run with samples = N "
+                "(prefix equivalence broken)\n", adaptive_n);
+    return 1;
+  }
+  if (adaptive_savings <= 0.0) {
+    std::printf("WARNING: adaptive sampling drew the whole fixed budget — "
+                "no sample savings at the a-priori CI target\n");
   }
   if (kernel_speedup < 1.5) {
     std::printf("WARNING: batched kernel speedup %.2fx below the 1.5x "

@@ -39,15 +39,16 @@ void write_yield_csv(std::ostream& os, const WaferModel& wafer,
     throw std::invalid_argument("write_yield_csv: report/wafer die mismatch");
   }
   os << "die_id,grid_col,grid_row,center_x_mm,center_y_mm,field_x_mm,"
-        "field_y_mm,mc_severity,detected_severity,policy,islands_raised,"
-        "timing_met,escalated,missed_violation,wns_all_low_ns,wns_final_ns,"
-        "fmax_ghz,total_mw,leakage_mw\n";
+        "field_y_mm,mc_severity,mc_samples,mc_stop,detected_severity,policy,"
+        "islands_raised,timing_met,escalated,missed_violation,wns_all_low_ns,"
+        "wns_final_ns,fmax_ghz,total_mw,leakage_mw\n";
   for (const DieOutcome& d : report.dies) {
     const WaferDie& g = wafer.dies()[static_cast<std::size_t>(d.die_id)];
     os << d.die_id << ',' << wafer.grid_col(g) << ',' << wafer.grid_row(g)
        << ',' << num(g.center_mm.x, 3) << ',' << num(g.center_mm.y, 3) << ','
        << num(g.location.chip_origin_mm.x, 3) << ','
        << num(g.location.chip_origin_mm.y, 3) << ',' << d.mc_severity << ','
+       << d.mc_samples << ',' << mc_stop_name(d.mc_stop) << ','
        << d.detected_severity << ',' << tuning_policy_name(d.policy) << ','
        << d.islands_raised << ',' << int{d.timing_met} << ','
        << int{d.escalated} << ',' << int{d.missed_violation} << ','
@@ -64,6 +65,16 @@ void write_yield_json(std::ostream& os, const YieldReport& report) {
      << ", \"field_mm\": " << num(report.wafer.field_mm, 1)
      << ", \"die_mm\": " << num(report.wafer.die_mm, 1) << "},\n";
   os << "  \"mc_samples\": " << report.config.mc.samples << ",\n";
+  // Adaptive sequential-sampling accounting (DESIGN.md §14): zero savings
+  // and drawn == budget for fixed-budget runs, so dashboards can diff the
+  // two modes without a schema switch.
+  os << "  \"mc_adaptive\": "
+     << (report.config.mc.adaptive.enabled ? "true" : "false") << ",\n";
+  os << "  \"mc_samples_drawn\": " << report.mc_samples_drawn << ",\n";
+  os << "  \"mc_samples_budget\": " << report.mc_samples_budget << ",\n";
+  os << "  \"mc_sample_savings\": " << num(report.mc_sample_savings())
+     << ",\n";
+  os << "  \"mc_converged_dies\": " << report.mc_converged_dies << ",\n";
   os << "  \"seed\": " << report.config.seed << ",\n";
   os << "  \"total_dies\": " << report.total_dies() << ",\n";
   os << "  \"shipped_dies\": " << report.shipped_dies() << ",\n";

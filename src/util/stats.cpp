@@ -22,6 +22,10 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -202,6 +206,131 @@ double gamma_q(double a, double x) {
 }
 
 double chi_squared_sf(double x, double k) { return gamma_q(k / 2.0, x / 2.0); }
+
+namespace {
+
+// Regularised incomplete beta I_x(a, b) via the Lentz continued fraction;
+// the symmetry transform keeps the fraction in its fast-converging half.
+double beta_inc(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  if (x > (a + 1.0) / (a + b + 2.0)) return 1.0 - beta_inc(b, a, 1.0 - x);
+  const double ln_front = a * std::log(x) + b * std::log1p(-x) -
+                          (log_gamma(a) + log_gamma(b) - log_gamma(a + b));
+  constexpr double tiny = 1e-300;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::abs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m < 500; ++m) {
+    const auto dm = static_cast<double>(m);
+    // Even step.
+    double num = dm * (b - dm) * x / ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+    d = 1.0 + num * d;
+    if (std::abs(d) < tiny) d = tiny;
+    c = 1.0 + num / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    num = -(a + dm) * (a + b + dm) * x /
+          ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+    d = 1.0 + num * d;
+    if (std::abs(d) < tiny) d = tiny;
+    c = 1.0 + num / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(ln_front) * h / a;
+}
+
+// Bracketed bisection for a monotonically increasing cdf; the intervals
+// these feed are stopping-rule thresholds, so plain robust bisection
+// (~1 ulp of interval width after 200 halvings) beats a Newton iteration
+// that could escape the bracket near the tails.
+template <typename Cdf>
+double invert_cdf(const Cdf& cdf, double p, double lo, double hi) {
+  for (int i = 0; i < 200 && lo < hi; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // interval collapsed to 1 ulp
+    (cdf(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double chi_squared_quantile(double p, double k) {
+  if (!(p > 0.0 && p < 1.0) || !(k > 0.0)) {
+    throw std::domain_error("chi_squared_quantile: need p in (0,1), k > 0");
+  }
+  // Bracket above the mean + tail; expand until the CDF straddles p.
+  double hi = k + 10.0 * std::sqrt(2.0 * k) + 10.0;
+  while (1.0 - chi_squared_sf(hi, k) < p) hi *= 2.0;
+  return invert_cdf([k](double x) { return 1.0 - chi_squared_sf(x, k); }, p,
+                    0.0, hi);
+}
+
+double student_t_cdf(double t, double dof) {
+  if (!(dof > 0.0)) throw std::domain_error("student_t_cdf: need dof > 0");
+  if (std::isnan(t)) return std::numeric_limits<double>::quiet_NaN();
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * beta_inc(0.5 * dof, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double dof) {
+  if (!(p > 0.0 && p < 1.0) || !(dof > 0.0)) {
+    throw std::domain_error("student_t_quantile: need p in (0,1), dof > 0");
+  }
+  if (p == 0.5) return 0.0;
+  // Symmetry: solve in the upper half and mirror.
+  if (p < 0.5) return -student_t_quantile(1.0 - p, dof);
+  // Heavy tails at low dof: expand the bracket multiplicatively.
+  double hi = 2.0 + std::abs(normal_quantile(p)) * 4.0;
+  while (student_t_cdf(hi, dof) < p && hi < 1e300) hi *= 4.0;
+  return invert_cdf([dof](double t) { return student_t_cdf(t, dof); }, p, 0.0,
+                    hi);
+}
+
+Interval mean_confidence_interval(std::size_t n, double mean, double stddev,
+                                  double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::domain_error("mean_confidence_interval: confidence in (0,1)");
+  }
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  if (std::isnan(mean) || std::isnan(stddev)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {nan, nan};
+  }
+  if (n < 2) return {-inf, inf};
+  if (stddev == 0.0) return {mean, mean};
+  const double t =
+      student_t_quantile(0.5 * (1.0 + confidence), static_cast<double>(n - 1));
+  const double hw = t * stddev / std::sqrt(static_cast<double>(n));
+  return {mean - hw, mean + hw};
+}
+
+Interval stddev_confidence_interval(std::size_t n, double stddev,
+                                    double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::domain_error("stddev_confidence_interval: confidence in (0,1)");
+  }
+  if (std::isnan(stddev)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {nan, nan};
+  }
+  if (n < 2) return {0.0, std::numeric_limits<double>::infinity()};
+  if (stddev == 0.0) return {0.0, 0.0};
+  const double df = static_cast<double>(n - 1);
+  const double chi_hi = chi_squared_quantile(0.5 * (1.0 + confidence), df);
+  const double chi_lo = chi_squared_quantile(0.5 * (1.0 - confidence), df);
+  return {stddev * std::sqrt(df / chi_hi), stddev * std::sqrt(df / chi_lo)};
+}
 
 NormalFit fit_normal(std::span<const double> samples, double confidence) {
   NormalFit fit;

@@ -12,9 +12,18 @@
 namespace vipvt {
 
 /// Welford-style single-pass accumulator for mean / variance / extrema.
+/// This is the incremental backbone of the adaptive sequential-sampling
+/// stopping rule (DESIGN.md §14): per-round confidence-interval checks
+/// extend one accumulator per pipeline stage with ONLY the new round's
+/// samples instead of re-fitting from scratch over everything drawn so
+/// far (tests/test_util_stats.cpp proves the incremental moments match a
+/// two-pass batch computation to ulp-scale tolerance).
 class RunningStats {
  public:
   void add(double x);
+  /// Extend with a whole span (per-round convenience; equivalent to
+  /// add() per element, in order).
+  void add(std::span<const double> xs);
   void merge(const RunningStats& other);
 
   std::size_t count() const { return n_; }
@@ -74,6 +83,45 @@ double normal_quantile(double p);
 double gamma_q(double a, double x);
 /// Chi-squared survival function P(X >= x) with k degrees of freedom.
 double chi_squared_sf(double x, double k);
+/// Chi-squared quantile: the x with CDF(x; k) == p, p in (0,1), k > 0.
+/// (Monotone bracketed bisection on 1 - chi_squared_sf; throws
+/// std::domain_error outside the domain.)
+double chi_squared_quantile(double p, double k);
+
+/// Student-t CDF with `dof` degrees of freedom (via the regularised
+/// incomplete beta function; any real dof > 0).
+double student_t_cdf(double t, double dof);
+/// Student-t quantile: the t with CDF(t; dof) == p, p in (0,1).
+double student_t_quantile(double p, double dof);
+
+// ---- confidence intervals for normal-sample moments -----------------------
+//
+// The adaptive sequential-sampling stopping rule (DESIGN.md §14) watches
+// these two intervals per pipeline stage and stops the Monte-Carlo run
+// when both half-widths meet their targets.  Degenerate inputs follow
+// the fit_normal hardening conventions: they report rather than throw.
+
+/// A two-sided interval.  half_width() is the stopping-rule metric.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width() const { return 0.5 * (hi - lo); }
+};
+
+/// Two-sided CI on the mean of a normal sample at `confidence`
+/// (Student-t):  mean ± t_{(1+c)/2, n-1} · s/√n.
+///   n < 2            → infinite interval (nothing is known yet);
+///   stddev == 0      → zero-width interval at the point estimate;
+///   NaN mean/stddev  → NaN interval (never satisfies a target).
+/// Throws std::domain_error for confidence outside (0,1).
+Interval mean_confidence_interval(std::size_t n, double mean, double stddev,
+                                  double confidence = 0.95);
+
+/// Two-sided CI on the standard deviation at `confidence` (the χ²
+/// interval):  [ s·√((n−1)/χ²_{(1+c)/2}), s·√((n−1)/χ²_{(1−c)/2}) ].
+/// Degenerate handling mirrors mean_confidence_interval (n < 2 → [0, ∞)).
+Interval stddev_confidence_interval(std::size_t n, double stddev,
+                                    double confidence = 0.95);
 
 /// Result of fitting samples to a normal distribution and testing the fit.
 struct NormalFit {

@@ -18,6 +18,15 @@ double McResult::worst_three_sigma_slack() const {
   return worst;
 }
 
+const char* mc_stop_name(McStop reason) {
+  switch (reason) {
+    case McStop::FixedBudget: return "fixed-budget";
+    case McStop::Converged: return "converged";
+    case McStop::MaxSamples: return "max-samples";
+  }
+  return "?";
+}
+
 int McResult::num_violating_stages() const {
   int n = 0;
   for (PipeStage s : {PipeStage::Decode, PipeStage::Execute,
@@ -70,22 +79,35 @@ McResult MonteCarloSsta::run(const DieLocation& loc, const McConfig& cfg,
 McResult MonteCarloSsta::run_with_systematic(
     std::span<const double> systematic, const McConfig& cfg,
     ThreadPool* pool) const {
+  const AdaptivePolicy& ap = cfg.adaptive;
+  if (ap.enabled &&
+      (ap.min_samples < 1 || ap.max_samples < ap.min_samples ||
+       ap.check_every_batches < 1 ||
+       !(ap.confidence > 0.0 && ap.confidence < 1.0))) {
+    throw std::invalid_argument(
+        "MonteCarloSsta: degenerate AdaptivePolicy (need 1 <= min_samples "
+        "<= max_samples, check_every_batches >= 1, confidence in (0,1))");
+  }
+  // Fixed mode runs the whole budget; adaptive mode treats it as a cap
+  // and may stop at any earlier round boundary.
+  const int budget = ap.enabled ? ap.max_samples : cfg.samples;
+
   McResult result;
-  result.samples = cfg.samples;
+  result.samples = budget;
   for (int s = 0; s < kNumPipeStages; ++s) {
     result.stages[s].stage = static_cast<PipeStage>(s);
     result.stages[s].samples.reserve(
-        static_cast<std::size_t>(std::max(cfg.samples, 0)));
+        static_cast<std::size_t>(std::max(budget, 0)));
   }
   const auto& endpoints = sta_->endpoints();
   const std::size_t num_eps = endpoints.size();
   result.endpoint_crit_prob.assign(num_eps, 0.0);
   result.endpoint_stage_crit.assign(num_eps, 0);
-  if (cfg.samples <= 0) return result;
-  const auto num_samples = static_cast<std::size_t>(cfg.samples);
+  if (budget <= 0) return result;
+  const auto cap = static_cast<std::size_t>(budget);
   const int width = std::max(cfg.batch, 1);
   const std::size_t num_inst = design_->num_instances();
-  result.min_period_samples.reserve(num_samples);
+  result.min_period_samples.reserve(cap);
 
   // Sample-invariant precomputes: the systematic Lgate map arrives from
   // the caller (evaluated once per run — or once per reticle slot in the
@@ -97,30 +119,40 @@ McResult MonteCarloSsta::run_with_systematic(
   const std::vector<CorrelatedField::Stencil> stencils =
       model_->field_stencils(*design_);
 
-  // Pre-sized per-sample slots; workers only ever write their own
-  // indices, so the thread schedule cannot reach the output.
-  std::vector<std::array<double, kNumPipeStages>> stage_wns(num_samples);
-  std::vector<double> min_period(num_samples);
+  // Pre-sized per-sample slots (the adaptive cap is the worst case);
+  // workers only ever write their own indices, so the thread schedule
+  // cannot reach the output.
+  std::vector<std::array<double, kNumPipeStages>> stage_wns(cap);
+  std::vector<double> min_period(cap);
 
+  // Workers are leased per parallel_for call and returned to the idle
+  // list afterwards, so adaptive rounds reuse engine clones instead of
+  // re-copying the StaEngine every round.  Which worker counted which
+  // endpoint tally is schedule-dependent, but the final merge is exact
+  // integer addition — order-free by construction.
   std::mutex workers_mu;
-  std::vector<std::shared_ptr<McWorker>> workers;
-  auto make_worker = [&] {
+  std::vector<std::shared_ptr<McWorker>> workers, idle;
+  auto make_worker = [&]() -> std::shared_ptr<McWorker> {
+    const std::lock_guard<std::mutex> lock(workers_mu);
+    if (!idle.empty()) {
+      auto w = idle.back();
+      idle.pop_back();
+      return w;
+    }
     auto w =
         std::make_shared<McWorker>(*sta_, width, num_eps, num_inst,
                                    cfg.profile);
-    const std::lock_guard<std::mutex> lock(workers_mu);
     workers.push_back(w);
     return w;
   };
 
-  const std::size_t num_batches =
-      (num_samples + static_cast<std::size_t>(width) - 1) /
+  const std::size_t total_batches =
+      (cap + static_cast<std::size_t>(width) - 1) /
       static_cast<std::size_t>(width);
   auto process_batch = [&](McWorker& w, std::size_t bi) {
     const std::size_t first = bi * static_cast<std::size_t>(width);
     const std::size_t lanes =
-        std::min<std::size_t>(static_cast<std::size_t>(width),
-                              num_samples - first);
+        std::min<std::size_t>(static_cast<std::size_t>(width), cap - first);
     if (cfg.profile == DrawProfile::Batched) {
       // Draw all lanes in one pass directly into the SoA layout the
       // propagation kernel consumes; no per-batch transpose.
@@ -160,18 +192,90 @@ McResult MonteCarloSsta::run_with_systematic(
     }
   };
 
-  if (pool != nullptr) {
-    parallel_for(*pool, num_batches, make_worker,
-                 [&](std::shared_ptr<McWorker>& w, std::size_t bi) {
-                   process_batch(*w, bi);
-                 });
+  auto run_batches = [&](std::size_t first_batch, std::size_t count) {
+    if (pool != nullptr) {
+      parallel_for(*pool, count, make_worker,
+                   [&](std::shared_ptr<McWorker>& w, std::size_t bi) {
+                     process_batch(*w, first_batch + bi);
+                   });
+    } else {
+      const auto w = make_worker();
+      for (std::size_t bi = 0; bi < count; ++bi) {
+        process_batch(*w, first_batch + bi);
+      }
+    }
+    // The parallel_for barrier has passed: every lease is back.
+    const std::lock_guard<std::mutex> lock(workers_mu);
+    idle = workers;
+  };
+
+  std::size_t num_samples = cap;
+  if (!ap.enabled) {
+    run_batches(0, total_batches);
   } else {
-    const auto w = make_worker();
-    for (std::size_t bi = 0; bi < num_batches; ++bi) process_batch(*w, bi);
+    // Sequential sampling: draw `check_every_batches` whole batches per
+    // round, extend the per-stage Welford accumulators with ONLY the new
+    // round's samples (in sample order — no refit over the prefix), and
+    // stop at the first round boundary >= min_samples where every
+    // present stage's µ and σ confidence intervals are tight enough.
+    // Round boundaries are sample counts, a function of (policy, batch
+    // width) alone — the thread schedule cannot move the stopping N.
+    const auto cadence = static_cast<std::size_t>(ap.check_every_batches);
+    std::array<RunningStats, kNumPipeStages> acc;
+    std::size_t accumulated = 0;
+    std::size_t batches_done = 0;
+    result.stopping_reason = McStop::MaxSamples;
+    while (batches_done < total_batches) {
+      const std::size_t round =
+          std::min(cadence, total_batches - batches_done);
+      run_batches(batches_done, round);
+      batches_done += round;
+      const std::size_t n_now =
+          std::min(cap, batches_done * static_cast<std::size_t>(width));
+      for (std::size_t k = accumulated; k < n_now; ++k) {
+        for (int s = 0; s < kNumPipeStages; ++s) {
+          const double wns = stage_wns[k][static_cast<std::size_t>(s)];
+          if (std::isfinite(wns)) acc[static_cast<std::size_t>(s)].add(wns);
+        }
+      }
+      accumulated = n_now;
+      McRound rnd;
+      rnd.samples = static_cast<int>(n_now);
+      bool converged = true;
+      for (const RunningStats& rs : acc) {
+        if (rs.count() == 0) continue;  // stage absent (so far)
+        const double mean_hw =
+            mean_confidence_interval(rs.count(), rs.mean(), rs.stddev(),
+                                     ap.confidence)
+                .half_width();
+        const double sigma_hw =
+            stddev_confidence_interval(rs.count(), rs.stddev(), ap.confidence)
+                .half_width();
+        rnd.worst_mean_half_width_ns =
+            std::max(rnd.worst_mean_half_width_ns, mean_hw);
+        rnd.worst_sigma_half_width_ns =
+            std::max(rnd.worst_sigma_half_width_ns, sigma_hw);
+        // NaN / infinite half-widths (n < 2, corrupted samples) fail
+        // both comparisons, which is the conservative direction.
+        converged = converged && mean_hw <= ap.mean_half_width_ns &&
+                    sigma_hw <= ap.sigma_half_width_ns;
+      }
+      rnd.converged = converged;
+      result.convergence.push_back(rnd);
+      num_samples = n_now;
+      if (converged &&
+          n_now >= static_cast<std::size_t>(ap.min_samples)) {
+        result.stopping_reason = McStop::Converged;
+        break;
+      }
+    }
+    result.samples = static_cast<int>(num_samples);
   }
 
   // Serial aggregation in sample order (vector outputs), plus the exact
-  // integer merge of the per-worker endpoint tallies.
+  // integer merge of the per-worker endpoint tallies.  Everything below
+  // sees only samples [0, num_samples) — the prefix an equivalent fixed
+  // run would have drawn — so adaptive and fixed agree bit-for-bit.
   for (std::size_t k = 0; k < num_samples; ++k) {
     for (int s = 0; s < kNumPipeStages; ++s) {
       const double wns = stage_wns[k][static_cast<std::size_t>(s)];

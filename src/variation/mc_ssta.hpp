@@ -37,8 +37,37 @@ enum class DrawProfile : int {
   Batched = 1,
 };
 
+/// Opt-in adaptive sequential sampling (DESIGN.md §14): instead of a
+/// fixed sample budget, the engine draws in deterministic rounds of
+/// `check_every_batches` whole batches and stops once EVERY present
+/// pipeline stage's fitted moments are pinned down — the Student-t CI
+/// half-width on µ and the χ²-interval half-width on σ (src/util/stats)
+/// both at or below their targets at `confidence`.  Because sample k's
+/// randomness derives from substream_seed(seed, k) alone, an adaptive
+/// run that stops at N samples is BIT-IDENTICAL (on every sampling-
+/// derived McResult field) to a fixed run with samples = N, for any
+/// thread count.  The stopping N itself is a pure function of
+/// (seed, policy, batch width) — round boundaries land on whole batches,
+/// so the batch width quantizes the checkpoint grid; thread count never
+/// moves it.
+struct AdaptivePolicy {
+  bool enabled = false;
+  /// Target CI half-width on each present stage's fitted mean [ns].
+  double mean_half_width_ns = 2e-3;
+  /// Target CI half-width on each present stage's fitted stddev [ns].
+  double sigma_half_width_ns = 2e-3;
+  /// Confidence level of both intervals (µ via Student-t, σ via χ²).
+  double confidence = 0.95;
+  /// Never stop before this many samples, even if converged …
+  int min_samples = 64;
+  /// … and always stop here (replaces McConfig::samples as the budget).
+  int max_samples = 4096;
+  /// Convergence-check cadence, in whole batches per round.
+  int check_every_batches = 4;
+};
+
 struct McConfig {
-  int samples = 500;
+  int samples = 500;  ///< fixed budget; ignored when adaptive.enabled
   std::uint64_t seed = 0x55aa55aa;
   double confidence = 0.95;  ///< for the normality test
   /// Samples propagated per StaEngine::analyze_batch() call.  1 selects
@@ -49,6 +78,9 @@ struct McConfig {
   /// Which draw engine generates the factors (see DrawProfile).  The
   /// default keeps every existing caller bit-identical to seed.
   DrawProfile profile = DrawProfile::Scalar;
+  /// Opt-in sequential sampling; disabled keeps the fixed-budget path
+  /// byte-for-byte unchanged (DESIGN.md §14).
+  AdaptivePolicy adaptive{};
 };
 
 /// Distribution of one pipeline stage's worst slack across MC samples.
@@ -66,12 +98,34 @@ struct StageSlackDist {
   bool violates() const { return present && three_sigma_slack() < 0.0; }
 };
 
+/// Why a Monte-Carlo run ended (DESIGN.md §14).
+enum class McStop : std::uint8_t {
+  FixedBudget = 0,  ///< ran the fixed cfg.samples budget (adaptive off)
+  Converged,        ///< every present stage met both CI targets
+  MaxSamples,       ///< hit AdaptivePolicy::max_samples unconverged
+};
+const char* mc_stop_name(McStop reason);
+
+/// One adaptive round's convergence snapshot: the worst (largest) CI
+/// half-widths across present stages after `samples` total draws.
+struct McRound {
+  int samples = 0;
+  double worst_mean_half_width_ns = 0.0;
+  double worst_sigma_half_width_ns = 0.0;
+  bool converged = false;  ///< both targets met by every present stage
+};
+
 struct McResult {
   std::array<StageSlackDist, kNumPipeStages> stages;
   std::vector<double> endpoint_crit_prob;  ///< P(endpoint slack < 0)
   std::vector<std::uint32_t> endpoint_stage_crit;  ///< times it set stage WNS
   std::vector<double> min_period_samples;  ///< achievable Tclk per sample
-  int samples = 0;
+  int samples = 0;  ///< samples actually drawn (the stopping N if adaptive)
+  /// Stopping metadata.  Mode-specific BY DEFINITION: an adaptive run and
+  /// its equivalent fixed run agree on every sampling-derived field above
+  /// but differ here (Converged/MaxSamples + history vs FixedBudget).
+  McStop stopping_reason = McStop::FixedBudget;
+  std::vector<McRound> convergence;  ///< per-round history (adaptive only)
 
   const StageSlackDist& stage(PipeStage s) const {
     return stages[static_cast<std::size_t>(s)];
@@ -104,6 +158,13 @@ class MonteCarloSsta {
   /// workers (integer addition commutes exactly).  Samples are drawn
   /// against a per-run precomputed systematic-Lgate map and propagated
   /// `cfg.batch` at a time through StaEngine::analyze_batch.
+  ///
+  /// With cfg.adaptive.enabled the budget becomes sequential: rounds of
+  /// whole batches are drawn until the per-stage CI targets are met
+  /// (DESIGN.md §14), and the result is bit-identical to a fixed run
+  /// with samples = the stopping N.  Throws std::invalid_argument for a
+  /// degenerate policy (min/max/cadence < 1, max < min, confidence
+  /// outside (0,1)).
   McResult run(const DieLocation& loc, const McConfig& cfg,
                ThreadPool* pool = nullptr) const;
 

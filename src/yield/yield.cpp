@@ -85,6 +85,8 @@ DieOutcome YieldAnalyzer::analyze_die_with(
   const McResult mc = MonteCarloSsta(*design_, engine, *model_)
                           .run_with_systematic(systematic, mcc);
   out.mc_severity = mc.num_violating_stages();
+  out.mc_samples = mc.samples;
+  out.mc_stop = mc.stopping_reason;
   if (!mc.min_period_samples.empty()) {
     const double period_ns =
         percentile(mc.min_period_samples, cfg.speed_percentile);
@@ -141,6 +143,20 @@ DieOutcome YieldAnalyzer::analyze_die_with(
 void YieldAnalyzer::aggregate(YieldReport& report) const {
   report.island_activation.assign(
       static_cast<std::size_t>(plan_->num_islands()) + 1, 0);
+  // Adaptive-sampling accounting: the budget is what a fixed-budget run
+  // would have drawn per die (max_samples when adaptive, mc.samples
+  // otherwise); what each die actually drew is in DieOutcome::mc_samples.
+  const McConfig& mc = report.config.mc;
+  const int per_die_budget =
+      std::max(mc.adaptive.enabled ? mc.adaptive.max_samples : mc.samples, 0);
+  report.mc_samples_budget =
+      report.dies.size() * static_cast<std::size_t>(per_die_budget);
+  report.mc_samples_drawn = 0;
+  report.mc_converged_dies = 0;
+  for (const DieOutcome& d : report.dies) {
+    report.mc_samples_drawn += static_cast<std::size_t>(std::max(d.mc_samples, 0));
+    if (d.mc_stop == McStop::Converged) ++report.mc_converged_dies;
+  }
   for (const DieOutcome& d : report.dies) {
     const auto p = static_cast<std::size_t>(d.policy);
     ++report.policy_count[p];

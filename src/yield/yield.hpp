@@ -63,6 +63,11 @@ struct YieldConfig {
   /// Per-die Monte-Carlo SSTA; mc.seed is ignored (derived per die from
   /// `seed` so results never depend on scheduling).  mc.batch picks the
   /// analyze_batch width of the per-die hot loop (any width, same bits).
+  /// mc.adaptive turns every die's run into a sequential-sampling one
+  /// (DESIGN.md §14): each die draws only until its own stage fits
+  /// converge, so easy dies stop at min_samples while marginal dies run
+  /// toward max_samples — per-die budgets, wafer-level savings
+  /// (YieldReport::mc_sample_savings()).
   McConfig mc{.samples = 48, .seed = 0, .confidence = 0.95};
   std::uint64_t seed = 0x5afe57a7eULL;
   /// Speed bin metric: the die's achievable clock is this percentile of
@@ -76,6 +81,8 @@ struct YieldConfig {
 struct DieOutcome {
   int die_id = 0;
   int mc_severity = 0;        ///< violating stages per 3-sigma MC criterion
+  int mc_samples = 0;         ///< MC samples drawn (< budget when adaptive)
+  McStop mc_stop = McStop::FixedBudget;  ///< why the die's MC run ended
   int detected_severity = 0;  ///< stages the Razor sensors flagged
   int islands_raised = 0;     ///< for AllLow/NestedIslands policies
   TuningPolicy policy = TuningPolicy::Discard;
@@ -102,6 +109,15 @@ struct YieldReport {
   std::array<RunningStats, kNumTuningPolicies> power_mw;
   std::array<RunningStats, kNumTuningPolicies> leakage_mw;
   RunningStats fmax_ghz;  ///< over shipped (non-discarded) dies
+  /// Wafer-level adaptive-sampling accounting: samples actually drawn
+  /// across all dies vs the worst-case budget (max_samples per die when
+  /// adaptive, the fixed mc.samples otherwise — the two coincide for
+  /// fixed runs, so savings read 0 there by construction).
+  std::size_t mc_samples_drawn = 0;
+  std::size_t mc_samples_budget = 0;
+  /// Dies whose adaptive run stopped on McStop::Converged (0 for fixed
+  /// runs, where every die reports FixedBudget).
+  std::size_t mc_converged_dies = 0;
   /// Speed-bin histogram over shipped-die fmax: bin i spans
   /// [lo + i*step, lo + (i+1)*step).
   std::vector<std::size_t> speed_bin_count;
@@ -121,6 +137,14 @@ struct YieldReport {
     return dies.empty() ? 0.0
                         : static_cast<double>(shipped_dies()) /
                               static_cast<double>(dies.size());
+  }
+  /// Fraction of the worst-case MC sample budget the wafer never had to
+  /// draw (0 for fixed-budget runs).
+  double mc_sample_savings() const {
+    return mc_samples_budget == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(mc_samples_drawn) /
+                           static_cast<double>(mc_samples_budget);
   }
   /// Glyph string indexed by die id, for WaferModel::ascii_map().
   std::string policy_glyphs() const;

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -199,6 +201,185 @@ TEST(FitNormal, InfinityPropagatesWithoutThrowing) {
   const NormalFit fit = fit_normal(xs);
   EXPECT_FALSE(fit.accepted);
   EXPECT_FALSE(std::isfinite(fit.mean));
+}
+
+// ---- Welford accumulator vs batch computation (adaptive CI checks) --------
+//
+// The adaptive stopping rule extends RunningStats incrementally each
+// round instead of re-fitting over all accumulated samples; that is only
+// sound if the single-pass moments match a two-pass batch computation to
+// ulp-scale accuracy, including across span-adds and merges.
+
+TEST(RunningStats, IncrementalMatchesTwoPassBatchToUlps) {
+  Rng rng(0x5eed);
+  std::vector<double> xs;
+  xs.reserve(10000);
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.normal(5.0, 0.01));
+
+  // Two-pass batch reference: exact mean, then centered sum of squares.
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  const double variance = m2 / static_cast<double>(xs.size() - 1);
+
+  // Incremental, fed in three uneven rounds via the span overload — the
+  // exact shape of the adaptive per-round update.
+  RunningStats rs;
+  std::span<const double> all(xs);
+  rs.add(all.subspan(0, 17));
+  rs.add(all.subspan(17, 4000));
+  rs.add(all.subspan(4017));
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean, std::abs(mean) * 1e-14);
+  EXPECT_NEAR(rs.variance(), variance, variance * 1e-12);
+
+  // Split/merge (the cross-worker shape) lands on the same moments.
+  RunningStats a, b;
+  a.add(all.subspan(0, 5000));
+  b.add(all.subspan(5000));
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), mean, std::abs(mean) * 1e-14);
+  EXPECT_NEAR(a.variance(), variance, variance * 1e-12);
+}
+
+// ---- Student-t / chi-squared quantiles ------------------------------------
+
+TEST(StudentT, CdfKnownValues) {
+  EXPECT_NEAR(student_t_cdf(0.0, 7.0), 0.5, 1e-12);
+  // t = 2.228 is the 97.5 % point at 10 dof.
+  EXPECT_NEAR(student_t_cdf(2.2281388520, 10.0), 0.975, 1e-9);
+  EXPECT_NEAR(student_t_cdf(-2.2281388520, 10.0), 0.025, 1e-9);
+  // Heavy 1-dof (Cauchy) tail: CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+  EXPECT_THROW(student_t_cdf(1.0, 0.0), std::domain_error);
+}
+
+TEST(StudentT, QuantileKnownValues) {
+  EXPECT_NEAR(student_t_quantile(0.975, 1.0), 12.7062047362, 1e-6);
+  EXPECT_NEAR(student_t_quantile(0.975, 10.0), 2.2281388520, 1e-9);
+  EXPECT_NEAR(student_t_quantile(0.995, 5.0), 4.0321429836, 1e-8);
+  EXPECT_DOUBLE_EQ(student_t_quantile(0.5, 3.0), 0.0);
+  // Converges to the normal quantile as dof grows.
+  EXPECT_NEAR(student_t_quantile(0.975, 1e6), normal_quantile(0.975), 1e-5);
+  EXPECT_THROW(student_t_quantile(0.0, 5.0), std::domain_error);
+  EXPECT_THROW(student_t_quantile(1.0, 5.0), std::domain_error);
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (double dof : {1.0, 2.0, 4.5, 12.0, 60.0}) {
+    for (double p : {0.01, 0.1, 0.4, 0.6, 0.9, 0.975, 0.999}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, dof), dof), p, 1e-9)
+          << "p=" << p << " dof=" << dof;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantile, KnownValuesAndRoundTrip) {
+  EXPECT_NEAR(chi_squared_quantile(0.95, 10.0), 18.3070380533, 1e-7);
+  EXPECT_NEAR(chi_squared_quantile(0.025, 10.0), 3.2469727802, 1e-8);
+  EXPECT_NEAR(chi_squared_quantile(0.975, 10.0), 20.4831774486, 1e-7);
+  EXPECT_NEAR(chi_squared_quantile(0.05, 1.0), 0.0039321400, 1e-10);
+  for (double k : {1.0, 3.0, 9.0, 47.0}) {
+    for (double p : {0.025, 0.2, 0.5, 0.8, 0.975}) {
+      const double x = chi_squared_quantile(p, k);
+      EXPECT_NEAR(1.0 - chi_squared_sf(x, k), p, 1e-10)
+          << "p=" << p << " k=" << k;
+    }
+  }
+  EXPECT_THROW(chi_squared_quantile(0.0, 5.0), std::domain_error);
+  EXPECT_THROW(chi_squared_quantile(0.5, -1.0), std::domain_error);
+}
+
+// ---- confidence-interval helpers ------------------------------------------
+
+TEST(ConfidenceIntervals, MatchHandComputedForms) {
+  // n = 16 samples with s = 2, mean = 10 at 95 %:
+  //   mean hw = t_{0.975,15} * 2 / 4, sigma interval from chi2_{15}.
+  const Interval m = mean_confidence_interval(16, 10.0, 2.0, 0.95);
+  const double t = student_t_quantile(0.975, 15.0);
+  EXPECT_NEAR(m.half_width(), t * 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(0.5 * (m.lo + m.hi), 10.0, 1e-12);
+
+  const Interval s = stddev_confidence_interval(16, 2.0, 0.95);
+  const double chi_hi = chi_squared_quantile(0.975, 15.0);
+  const double chi_lo = chi_squared_quantile(0.025, 15.0);
+  EXPECT_NEAR(s.lo, 2.0 * std::sqrt(15.0 / chi_hi), 1e-12);
+  EXPECT_NEAR(s.hi, 2.0 * std::sqrt(15.0 / chi_lo), 1e-12);
+  EXPECT_LT(s.lo, 2.0);
+  EXPECT_GT(s.hi, 2.0);
+}
+
+// Empirical coverage: resample a known normal 2000 times and count how
+// often the 95 % intervals cover the true parameters.  Nominal coverage
+// is exact for normal data, so the observed rate must sit inside a
+// generous tolerance band around 0.95 (binomial se ~ 0.005 at 2000
+// resamples; the band is +/- 4 sigma with margin, and the fixed seed
+// makes the test deterministic anyway).
+TEST(ConfidenceIntervals, EmpiricalCoverageNearNominal) {
+  constexpr double kTrueMean = -0.25;
+  constexpr double kTrueSigma = 0.04;
+  constexpr int kResamples = 2000;
+  constexpr int kN = 25;
+  Rng rng(0xc0ffee);
+  int mean_covered = 0, sigma_covered = 0;
+  for (int r = 0; r < kResamples; ++r) {
+    RunningStats rs;
+    for (int i = 0; i < kN; ++i) rs.add(rng.normal(kTrueMean, kTrueSigma));
+    const Interval m =
+        mean_confidence_interval(rs.count(), rs.mean(), rs.stddev(), 0.95);
+    const Interval s = stddev_confidence_interval(rs.count(), rs.stddev(), 0.95);
+    if (m.lo <= kTrueMean && kTrueMean <= m.hi) ++mean_covered;
+    if (s.lo <= kTrueSigma && kTrueSigma <= s.hi) ++sigma_covered;
+  }
+  const double mean_cov = static_cast<double>(mean_covered) / kResamples;
+  const double sigma_cov = static_cast<double>(sigma_covered) / kResamples;
+  EXPECT_GT(mean_cov, 0.925);
+  EXPECT_LT(mean_cov, 0.975);
+  EXPECT_GT(sigma_cov, 0.925);
+  EXPECT_LT(sigma_cov, 0.975);
+}
+
+// Degenerate inputs mirror the fit_normal hardening: report, never throw.
+TEST(ConfidenceIntervals, DegenerateInputs) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  // n < 2: nothing is known — infinite intervals, infinite half-width.
+  EXPECT_EQ(mean_confidence_interval(0, 0.0, 0.0).half_width(), inf);
+  EXPECT_EQ(mean_confidence_interval(1, 3.0, 0.0).half_width(), inf);
+  EXPECT_EQ(stddev_confidence_interval(1, 0.0).hi, inf);
+  EXPECT_EQ(stddev_confidence_interval(1, 0.0).lo, 0.0);
+  // Zero variance: the degenerate-normal point interval.
+  const Interval m0 = mean_confidence_interval(50, 1.5, 0.0);
+  EXPECT_DOUBLE_EQ(m0.lo, 1.5);
+  EXPECT_DOUBLE_EQ(m0.hi, 1.5);
+  EXPECT_DOUBLE_EQ(m0.half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_confidence_interval(50, 0.0).half_width(), 0.0);
+  // NaN moments: NaN intervals whose half-width never satisfies a
+  // target comparison (the conservative direction for a stopping rule).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(mean_confidence_interval(50, nan, 1.0).half_width()));
+  EXPECT_TRUE(std::isnan(mean_confidence_interval(50, 0.0, nan).half_width()));
+  EXPECT_TRUE(std::isnan(stddev_confidence_interval(50, nan).half_width()));
+  EXPECT_FALSE(mean_confidence_interval(50, nan, 1.0).half_width() <= 1e9);
+  // Bad confidence throws (a config error, not a data condition).
+  EXPECT_THROW(mean_confidence_interval(50, 0.0, 1.0, 1.0), std::domain_error);
+  EXPECT_THROW(stddev_confidence_interval(50, 1.0, 0.0), std::domain_error);
+}
+
+// Interval half-widths shrink as n grows: the property the sequential
+// stopping rule relies on to terminate.
+TEST(ConfidenceIntervals, HalfWidthShrinksWithN) {
+  double prev_m = std::numeric_limits<double>::infinity();
+  double prev_s = std::numeric_limits<double>::infinity();
+  for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+    const double m = mean_confidence_interval(n, 0.0, 1.0).half_width();
+    const double s = stddev_confidence_interval(n, 1.0).half_width();
+    EXPECT_LT(m, prev_m) << n;
+    EXPECT_LT(s, prev_s) << n;
+    prev_m = m;
+    prev_s = s;
+  }
 }
 
 TEST(Percentile, InterpolatesSorted) {

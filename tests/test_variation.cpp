@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 
 #include "netlist/vex.hpp"
 #include "placement/placer.hpp"
@@ -425,6 +427,203 @@ TEST_F(McFixture, BatchedProfileDeterministicWithCorrelatedField) {
     expect_identical(ref, mc.run(DieLocation::point('A'), c));
     expect_identical(ref, mc.run(DieLocation::point('A'), c, &pool));
   }
+}
+
+// ---- adaptive sequential sampling (DESIGN.md §14) --------------------------
+
+TEST_F(McFixture, AdaptivePolicyValidation) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  McConfig cfg;
+  cfg.adaptive.enabled = true;
+  auto run = [&](auto mutate) {
+    McConfig c = cfg;
+    mutate(c.adaptive);
+    return mc.run(DieLocation::point('D'), c);
+  };
+  EXPECT_THROW(run([](AdaptivePolicy& p) { p.min_samples = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(run([](AdaptivePolicy& p) {
+                 p.min_samples = 10;
+                 p.max_samples = 9;
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(run([](AdaptivePolicy& p) { p.check_every_batches = 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(run([](AdaptivePolicy& p) { p.confidence = 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(run([](AdaptivePolicy& p) { p.confidence = 0.0; }),
+               std::invalid_argument);
+  // A disabled policy is inert config: bogus fields must not bite.
+  cfg.adaptive.enabled = false;
+  cfg.adaptive.min_samples = -7;
+  cfg.samples = 10;
+  EXPECT_NO_THROW(mc.run(DieLocation::point('D'), cfg));
+}
+
+/// The tentpole contract, fuzzed: for random seeds and random policies,
+/// an adaptive run that stops at N is bit-identical to a fixed run with
+/// samples = N — serially and for every thread count — and the stopping
+/// N itself never depends on the pool.  Both draw profiles.
+TEST_F(McFixture, AdaptiveStopBitIdenticalToFixedAtNFuzz) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  const auto systematic =
+      model_->systematic_lgates(design_, DieLocation::point('A'));
+
+  // Pilot run: scale the fuzzed CI targets off the real stage sigmas so
+  // the policies stop all over [min, max] instead of at one end.
+  McConfig pilot;
+  pilot.samples = 48;
+  double sigma = 0.0;
+  for (const auto& sd : mc.run_with_systematic(systematic, pilot).stages) {
+    if (sd.present) sigma = std::max(sigma, sd.fit.stddev);
+  }
+  ASSERT_GT(sigma, 0.0);
+
+  Rng fuzz(0xada9717e);
+  ThreadPool one(1), four(4);
+  ThreadPool many(std::max(2u, std::thread::hardware_concurrency()));
+  for (int iter = 0; iter < 6; ++iter) {
+    McConfig cfg;
+    cfg.seed = fuzz.next();
+    cfg.batch = 1 + static_cast<int>(fuzz.below(9));
+    cfg.profile = iter % 2 ? DrawProfile::Batched : DrawProfile::Scalar;
+    cfg.adaptive.enabled = true;
+    cfg.adaptive.min_samples = 8 + static_cast<int>(fuzz.below(25));
+    cfg.adaptive.max_samples = 120 + static_cast<int>(fuzz.below(81));
+    cfg.adaptive.check_every_batches = 1 + static_cast<int>(fuzz.below(4));
+    const double frac = fuzz.uniform(0.08, 0.55);
+    cfg.adaptive.sigma_half_width_ns = frac * sigma;
+    cfg.adaptive.mean_half_width_ns = 2.0 * frac * sigma;
+
+    const McResult adaptive = mc.run_with_systematic(systematic, cfg);
+    const int n = adaptive.samples;
+    if (adaptive.stopping_reason == McStop::Converged) {
+      EXPECT_GE(n, cfg.adaptive.min_samples) << "iter " << iter;
+      EXPECT_LE(n, cfg.adaptive.max_samples) << "iter " << iter;
+    } else {
+      EXPECT_EQ(adaptive.stopping_reason, McStop::MaxSamples);
+      EXPECT_EQ(n, cfg.adaptive.max_samples) << "iter " << iter;
+    }
+    ASSERT_FALSE(adaptive.convergence.empty());
+    EXPECT_EQ(adaptive.convergence.back().samples, n);
+    EXPECT_EQ(adaptive.convergence.back().converged,
+              adaptive.stopping_reason == McStop::Converged);
+
+    // Fixed-at-N equivalence, serial and across thread counts.
+    McConfig fixed = cfg;
+    fixed.adaptive = AdaptivePolicy{};
+    fixed.samples = n;
+    const McResult f = mc.run_with_systematic(systematic, fixed);
+    EXPECT_EQ(f.stopping_reason, McStop::FixedBudget);
+    EXPECT_TRUE(f.convergence.empty());
+    expect_identical(adaptive, f);
+    expect_identical(adaptive, mc.run_with_systematic(systematic, fixed, &one));
+    expect_identical(adaptive,
+                     mc.run_with_systematic(systematic, fixed, &four));
+    expect_identical(adaptive,
+                     mc.run_with_systematic(systematic, fixed, &many));
+
+    // Adaptive under a pool: same stopping N, same reason, same history,
+    // same bits as the serial adaptive run.
+    const McResult pooled = mc.run_with_systematic(systematic, cfg, &four);
+    EXPECT_EQ(pooled.stopping_reason, adaptive.stopping_reason);
+    ASSERT_EQ(pooled.convergence.size(), adaptive.convergence.size());
+    for (std::size_t r = 0; r < pooled.convergence.size(); ++r) {
+      EXPECT_EQ(pooled.convergence[r].samples,
+                adaptive.convergence[r].samples);
+      EXPECT_EQ(pooled.convergence[r].converged,
+                adaptive.convergence[r].converged);
+    }
+    expect_identical(adaptive, pooled);
+  }
+}
+
+/// Stopping-rule properties: never before min_samples, always by
+/// max_samples, checkpoint-grid quantization only, and tightening the
+/// targets never stops EARLIER (monotone non-decreasing N).
+TEST_F(McFixture, AdaptiveConvergenceProperties) {
+  MonteCarloSsta mc(design_, *sta_, *model_);
+  const auto systematic =
+      model_->systematic_lgates(design_, DieLocation::point('A'));
+  McConfig cfg;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.min_samples = 40;
+  cfg.adaptive.max_samples = 160;
+  cfg.adaptive.check_every_batches = 2;  // 16-sample checkpoint grid
+
+  // Infinitely loose targets: converged at the first checkpoint at or
+  // after min_samples — never a sample before it.
+  cfg.adaptive.mean_half_width_ns = 1e9;
+  cfg.adaptive.sigma_half_width_ns = 1e9;
+  const McResult loose = mc.run_with_systematic(systematic, cfg);
+  EXPECT_EQ(loose.stopping_reason, McStop::Converged);
+  EXPECT_GE(loose.samples, cfg.adaptive.min_samples);
+  EXPECT_LT(loose.samples,
+            cfg.adaptive.min_samples + cfg.adaptive.check_every_batches *
+                                           cfg.batch);
+
+  // Unreachable (zero) targets: runs the full cap and says so.
+  cfg.adaptive.mean_half_width_ns = 0.0;
+  cfg.adaptive.sigma_half_width_ns = 0.0;
+  const McResult capped = mc.run_with_systematic(systematic, cfg);
+  EXPECT_EQ(capped.stopping_reason, McStop::MaxSamples);
+  EXPECT_EQ(capped.samples, cfg.adaptive.max_samples);
+  ASSERT_FALSE(capped.convergence.empty());
+  EXPECT_FALSE(capped.convergence.back().converged);
+  int prev_round = 0;
+  for (const McRound& r : capped.convergence) {
+    EXPECT_GT(r.samples, prev_round);
+    EXPECT_GT(r.worst_sigma_half_width_ns, 0.0);
+    prev_round = r.samples;
+  }
+  EXPECT_EQ(prev_round, cfg.adaptive.max_samples);
+
+  // Monotonicity: the per-round half-width trajectory is target-
+  // independent, so the first-crossing N can only grow as targets shrink.
+  const double sigma = capped.stage(PipeStage::Execute).fit.stddev;
+  ASSERT_GT(sigma, 0.0);
+  cfg.adaptive.min_samples = 16;
+  int prev_n = 0;
+  for (double frac : {0.8, 0.4, 0.2, 0.1, 0.05}) {
+    cfg.adaptive.sigma_half_width_ns = frac * sigma;
+    cfg.adaptive.mean_half_width_ns = 2.0 * frac * sigma;
+    const McResult r = mc.run_with_systematic(systematic, cfg);
+    EXPECT_GE(r.samples, prev_n) << "frac " << frac;
+    EXPECT_GE(r.samples, cfg.adaptive.min_samples);
+    EXPECT_LE(r.samples, cfg.adaptive.max_samples);
+    prev_n = r.samples;
+  }
+}
+
+/// A deliberately wide-sigma stage (double the random Lgate spread) must
+/// hold the stopping rule back: at the same absolute CI target the wide
+/// model draws strictly more samples than the default one.
+TEST_F(McFixture, AdaptiveWideSigmaStageDrawsMoreSamples) {
+  VariationConfig vc;
+  vc.three_sigma_random_frac = 0.13;  // ~2x the default 6.5 %
+  const VariationModel wide_model(lib_.char_params(), *field_, vc);
+  MonteCarloSsta base(design_, *sta_, *model_);
+  MonteCarloSsta wide(design_, *sta_, wide_model);
+
+  McConfig pilot;
+  pilot.samples = 48;
+  const double sigma =
+      base.run(DieLocation::point('A'), pilot).stage(PipeStage::Execute)
+          .fit.stddev;
+  ASSERT_GT(sigma, 0.0);
+
+  McConfig cfg;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.min_samples = 8;
+  cfg.adaptive.max_samples = 320;
+  cfg.adaptive.check_every_batches = 1;  // finest checkpoint grid
+  cfg.adaptive.sigma_half_width_ns = 0.25 * sigma;  // ~30 samples at 1x
+  cfg.adaptive.mean_half_width_ns = 1e9;            // sigma target binds
+  const McResult r_base = base.run(DieLocation::point('A'), cfg);
+  const McResult r_wide = wide.run(DieLocation::point('A'), cfg);
+  EXPECT_EQ(r_base.stopping_reason, McStop::Converged);
+  EXPECT_LT(r_base.samples, cfg.adaptive.max_samples);
+  EXPECT_GT(r_wide.samples, r_base.samples);
 }
 
 /// run_with_systematic against the map run() derives internally must be

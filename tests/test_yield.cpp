@@ -243,6 +243,85 @@ TEST_F(YieldFixture, ReportBitIdenticalUnderForcedFullRecorner) {
   EXPECT_EQ(serialize(*wafer_, full_report), serialize(*wafer_, *report_));
 }
 
+// ---- adaptive per-die sampling (DESIGN.md §14) -----------------------------
+
+/// Fixed-budget runs read as the degenerate adaptive case: every die
+/// draws exactly the budget, nothing converges early, savings are zero.
+TEST_F(YieldFixture, FixedBudgetAccountingIsDegenerate) {
+  const YieldConfig cfg = test_yield_config();
+  EXPECT_EQ(report_->mc_samples_budget,
+            wafer_->num_dies() * static_cast<std::size_t>(cfg.mc.samples));
+  EXPECT_EQ(report_->mc_samples_drawn, report_->mc_samples_budget);
+  EXPECT_EQ(report_->mc_converged_dies, 0u);
+  EXPECT_DOUBLE_EQ(report_->mc_sample_savings(), 0.0);
+  for (const DieOutcome& d : report_->dies) {
+    EXPECT_EQ(d.mc_samples, cfg.mc.samples);
+    EXPECT_EQ(d.mc_stop, McStop::FixedBudget);
+  }
+}
+
+/// Adaptive wafer accounting: per-die budgets land inside
+/// [min_samples, max_samples], the wafer budget is dies x max_samples,
+/// and the savings figure follows from drawn/budget.  The loose-target
+/// run converges every die at the first checkpoint; the zero-target run
+/// caps every die at max_samples with zero savings.
+TEST_F(YieldFixture, AdaptiveAccountingIsConsistent) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  YieldConfig yc = test_yield_config();
+  yc.mc.adaptive.enabled = true;
+  yc.mc.adaptive.min_samples = 8;
+  yc.mc.adaptive.max_samples = 48;
+  yc.mc.adaptive.check_every_batches = 1;
+  yc.mc.adaptive.mean_half_width_ns = 1e9;
+  yc.mc.adaptive.sigma_half_width_ns = 1e9;
+  const std::size_t dies = wafer_->num_dies();
+
+  const YieldReport loose = analyzer.analyze(*wafer_, yc, nullptr);
+  EXPECT_EQ(loose.mc_samples_budget, dies * 48u);
+  EXPECT_GE(loose.mc_samples_drawn, dies * 8u);
+  EXPECT_LT(loose.mc_samples_drawn, loose.mc_samples_budget);
+  EXPECT_EQ(loose.mc_converged_dies, dies);
+  EXPECT_GT(loose.mc_sample_savings(), 0.0);
+  EXPECT_LT(loose.mc_sample_savings(), 1.0);
+  std::size_t drawn = 0;
+  for (const DieOutcome& d : loose.dies) {
+    EXPECT_GE(d.mc_samples, 8);
+    EXPECT_LE(d.mc_samples, 48);
+    EXPECT_EQ(d.mc_stop, McStop::Converged);
+    drawn += static_cast<std::size_t>(d.mc_samples);
+  }
+  EXPECT_EQ(drawn, loose.mc_samples_drawn);
+
+  yc.mc.adaptive.mean_half_width_ns = 0.0;
+  yc.mc.adaptive.sigma_half_width_ns = 0.0;
+  const YieldReport capped = analyzer.analyze(*wafer_, yc, nullptr);
+  EXPECT_EQ(capped.mc_samples_drawn, capped.mc_samples_budget);
+  EXPECT_EQ(capped.mc_converged_dies, 0u);
+  EXPECT_DOUBLE_EQ(capped.mc_sample_savings(), 0.0);
+  for (const DieOutcome& d : capped.dies) {
+    EXPECT_EQ(d.mc_samples, 48);
+    EXPECT_EQ(d.mc_stop, McStop::MaxSamples);
+  }
+}
+
+/// Per-die adaptive stopping is part of the wafer determinism contract:
+/// serialized reports (CSV + JSON, mc_samples/mc_stop columns included)
+/// must be byte-identical for serial and pooled runs.
+TEST_F(YieldFixture, AdaptiveReportBitIdenticalAcrossThreadCounts) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  YieldConfig yc = test_yield_config();
+  yc.mc.adaptive.enabled = true;
+  yc.mc.adaptive.min_samples = 8;
+  yc.mc.adaptive.max_samples = 48;
+  yc.mc.adaptive.check_every_batches = 1;
+  yc.mc.adaptive.mean_half_width_ns = 1e9;
+  yc.mc.adaptive.sigma_half_width_ns = 1e9;
+  const YieldReport serial = analyzer.analyze(*wafer_, yc, nullptr);
+  ThreadPool pool(3);
+  const YieldReport pooled = analyzer.analyze(*wafer_, yc, &pool);
+  EXPECT_EQ(serialize(*wafer_, serial), serialize(*wafer_, pooled));
+}
+
 TEST_F(YieldFixture, CsvHasOneRowPerDie) {
   std::ostringstream os;
   write_yield_csv(os, *wafer_, *report_);
