@@ -12,15 +12,23 @@
 //
 // Emits BENCH_wafer.json with dies/sec and speedups for trajectory
 // tracking across PRs.
+//
+// Knobs: --samples N (per-die MC budget, default 24), --dies N (use the
+// smallest wafer with at least N dies instead of the 300 mm default),
+// --wafers W (fabricate W wafers per configuration, each on its own
+// substream seed), --out PATH.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "io/yield_writers.hpp"
 #include "timing/sta.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "vi/islands.hpp"
 #include "yield/wafer.hpp"
@@ -48,33 +56,61 @@ int main(int argc, char** argv) {
   std::printf("# design: %zu instances, clock %.3f ns\n",
               flow.design().num_instances(), flow.nominal_clock_ns());
 
-  const WaferModel wafer{WaferConfig{}};  // 300 mm, 28 mm field, 14 mm die
+  // Wafer geometry: the 300 mm default, or (--dies N) the smallest wafer
+  // that fits at least N dies — a direct workload-size dial.
+  WaferConfig wc;  // 300 mm, 28 mm field, 14 mm die
+  const int want_dies = bench::arg_int(argc, argv, "--dies", 0);
+  if (want_dies > 0) {
+    for (double diameter = 50.0; diameter <= 450.0; diameter += 10.0) {
+      wc.wafer_diameter_mm = diameter;
+      if (WaferModel(wc).num_dies() >= static_cast<std::size_t>(want_dies)) {
+        break;
+      }
+    }
+  }
+  const WaferModel wafer{wc};
+  const int num_wafers = std::max(1, bench::arg_int(argc, argv, "--wafers", 1));
   YieldConfig yc;
-  yc.mc.samples = 24;
+  yc.mc.samples = bench::arg_int(argc, argv, "--samples", 24);
   const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(flow);
-  std::printf("# wafer: %zu dies, %d MC samples/die\n\n", wafer.num_dies(),
+  std::printf("# wafer: %zu dies (%.0f mm) x %d wafer(s), %d MC samples/die\n\n",
+              wafer.num_dies(), wc.wafer_diameter_mm, num_wafers,
               yc.mc.samples);
 
+  // Each wafer of a multi-wafer run gets its own substream seed (the
+  // same derivation the campaign layer uses); --wafers 1 keeps the
+  // historical single-wafer bytes.
   const auto run = [&](DrawProfile profile, ThreadPool* pool) {
     YieldConfig cfg = yc;
     cfg.mc.profile = profile;
+    std::vector<YieldReport> reports;
+    reports.reserve(static_cast<std::size_t>(num_wafers));
     const auto t0 = clock::now();
-    YieldReport report = analyzer.analyze(wafer, cfg, pool);
+    for (int w = 0; w < num_wafers; ++w) {
+      cfg.seed = num_wafers > 1
+                     ? substream_seed(yc.seed, static_cast<std::uint64_t>(w))
+                     : yc.seed;
+      reports.push_back(analyzer.analyze(wafer, cfg, pool));
+    }
     const std::chrono::duration<double> dt = clock::now() - t0;
-    return std::pair{std::move(report), dt.count()};
+    return std::pair{std::move(reports), dt.count()};
   };
 
   // Serial reference (no pool involved at all).
-  auto [serial_report, serial_s] = run(DrawProfile::Scalar, nullptr);
-  const auto dies = static_cast<double>(wafer.num_dies());
+  auto [serial_reports, serial_s] = run(DrawProfile::Scalar, nullptr);
+  const YieldReport& serial_report = serial_reports.front();
+  const auto dies =
+      static_cast<double>(wafer.num_dies()) * static_cast<double>(num_wafers);
 
-  const auto fingerprint = [&](const YieldReport& r) {
+  const auto fingerprint = [&](const std::vector<YieldReport>& rs) {
     std::ostringstream os;
-    write_yield_csv(os, wafer, r);
-    write_yield_json(os, r);
+    for (const YieldReport& r : rs) {
+      write_yield_csv(os, wafer, r);
+      write_yield_json(os, r);
+    }
     return os.str();
   };
-  const std::string reference = fingerprint(serial_report);
+  const std::string reference = fingerprint(serial_reports);
 
   Table t({"threads", "wall [s]", "dies/sec", "speedup", "identical"});
   t.add_row({"serial", Table::num(serial_s, 2), Table::num(dies / serial_s, 1),
@@ -82,6 +118,7 @@ int main(int argc, char** argv) {
 
   bench::BenchJson out("wafer_yield");
   out.set("dies", dies);
+  out.set("wafers", num_wafers);
   out.set("mc_samples_per_die", yc.mc.samples);
   out.set("serial_s", serial_s);
   out.set("serial_dies_per_sec", dies / serial_s);

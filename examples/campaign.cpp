@@ -1,0 +1,80 @@
+// Campaign: sweep a virtual fab across variation severity and
+// compensation policy, several wafers per cell, and stream every
+// completed shard to an NDJSON file you can `tail -f` while the
+// campaign runs.  The same file doubles as the checkpoint: re-running
+// with resume=true picks up where a killed campaign left off and
+// produces byte-identical results.  Build & run:
+//
+//   cmake -B build && cmake --build build && ./build/examples/campaign
+
+#include <cstdio>
+
+#include "campaign/campaign.hpp"
+#include "io/campaign_writers.hpp"
+#include "vi/flow.hpp"
+#include "yield/wafer.hpp"
+
+int main() {
+  using namespace vipvt;
+
+  FlowConfig cfg;
+  cfg.vex = VexConfig::tiny();  // small core for a fast demo
+  cfg.floorplan.target_utilization = 0.55;
+  cfg.scenario.sweep_points = 6;
+  cfg.scenario.mc.samples = 100;
+  cfg.islands.mc_samples = 80;
+  cfg.sim_cycles = 150;
+  Flow flow(cfg);
+  flow.simulate_activity();  // runs the whole design-time pipeline
+  std::printf("core: %zu cells, %d nested islands, %zu Razor sensors\n",
+              flow.design().num_instances(), flow.island_plan().num_islands(),
+              flow.razor_plan().total());
+
+  CampaignRunner runner;
+  runner.add_variant("tiny", flow);
+
+  // 2 sigma scales x 2 policies = 4 cells, 2 wafers each.
+  WaferConfig wc;
+  wc.wafer_diameter_mm = 70.0;
+  CampaignSpec spec;
+  spec.wafer_grids = {wc};
+  spec.sigma_scales = {1.0, 1.2};
+  spec.policies = {PolicyMix{"full", true, true},
+                   PolicyMix{"no-escalation", false, true}};
+  spec.mc_samples = {8};
+  spec.wafers_per_cell = 2;
+  spec.shard_dies = 8;
+  spec.base.mc.samples = 8;
+  std::printf("campaign: %zu cells x %d wafers x %zu dies/wafer, %zu jobs\n",
+              runner.expand(spec).size(), spec.wafers_per_cell,
+              WaferModel(wc).num_dies(), runner.num_jobs(spec));
+
+  ThreadPool pool;  // all hardware threads; results identical regardless
+  CampaignRunOptions opts;
+  opts.pool = &pool;
+  opts.stream_path = "campaign.ndjson";  // stream == checkpoint
+  std::size_t lines = 0;
+  opts.on_record = [&lines](const std::string&) { ++lines; };  // live tail
+  const CampaignReport report = runner.run(spec, opts);
+  std::printf("streamed %zu shard records to campaign.ndjson (tail -f "
+              "works on a live run)\n\n", lines);
+
+  std::printf("  %-6s %-14s %9s %7s %10s %9s\n", "sigma", "policy", "dies",
+              "yield", "fmax [GHz]", "escalated");
+  for (const CellResult& c : report.cells) {
+    const PolicyMix& p = spec.policies[c.cell.policy];
+    std::printf("  %-6.2f %-14s %9llu %6.1f%% %10.4f %9llu\n",
+                spec.sigma_scales[c.cell.sigma], p.name.c_str(),
+                static_cast<unsigned long long>(c.agg.dies),
+                c.agg.parametric_yield() * 100.0, c.agg.fmax_ghz.mean(),
+                static_cast<unsigned long long>(c.agg.escalated));
+  }
+  std::printf("\ncampaign yield: %.1f %% (%llu/%llu dies ship)\n",
+              report.parametric_yield() * 100.0,
+              static_cast<unsigned long long>(report.shipped_dies()),
+              static_cast<unsigned long long>(report.total_dies()));
+
+  write_campaign_json_file("campaign.json", report);
+  std::printf("wrote campaign.json / campaign.ndjson\n");
+  return 0;
+}

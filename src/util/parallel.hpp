@@ -75,9 +75,15 @@ class ThreadPool {
 /// slot i and derive any randomness from i (substream_seed), never from
 /// the schedule.  Runs inline (single state, ascending order) when the
 /// pool has one thread or n <= 1.
+/// parallel_for with an explicit self-scheduling grain: workers claim
+/// `grain` consecutive indices per atomic fetch.  parallel_for picks a
+/// throughput-oriented grain automatically; parallel_jobs pins it to 1
+/// for heterogeneous job queues.  Same contract otherwise: make_state()
+/// once per participating worker, body(state, i) exactly once per index,
+/// unspecified order, inline when the pool has one thread or n <= 1.
 template <typename StateFactory, typename Body>
-void parallel_for(ThreadPool& pool, std::size_t n, StateFactory&& make_state,
-                  Body&& body) {
+void parallel_for_grained(ThreadPool& pool, std::size_t n, std::size_t grain,
+                          StateFactory&& make_state, Body&& body) {
   if (n == 0) return;
   const auto workers =
       static_cast<unsigned>(std::min<std::size_t>(pool.size(), n));
@@ -86,10 +92,7 @@ void parallel_for(ThreadPool& pool, std::size_t n, StateFactory&& make_state,
     for (std::size_t i = 0; i < n; ++i) body(state, i);
     return;
   }
-  // Dynamic chunking: small enough to balance skewed per-item cost (a
-  // discarded die escalates through every corner config), large enough
-  // that the atomic is not contended.
-  const std::size_t chunk = std::max<std::size_t>(1, n / (8 * workers));
+  const std::size_t chunk = std::max<std::size_t>(1, grain);
   std::atomic<std::size_t> next{0};
   pool.run_on_workers(workers, [&](unsigned) {
     auto state = make_state();
@@ -100,6 +103,35 @@ void parallel_for(ThreadPool& pool, std::size_t n, StateFactory&& make_state,
       for (std::size_t i = begin; i < end; ++i) body(state, i);
     }
   });
+}
+
+template <typename StateFactory, typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, StateFactory&& make_state,
+                  Body&& body) {
+  // Dynamic chunking: small enough to balance skewed per-item cost (a
+  // discarded die escalates through every corner config), large enough
+  // that the atomic is not contended.
+  const auto workers =
+      std::max<std::size_t>(1, std::min<std::size_t>(pool.size(), n));
+  parallel_for_grained(pool, n, n / (8 * workers),
+                       std::forward<StateFactory>(make_state),
+                       std::forward<Body>(body));
+}
+
+/// Self-scheduling job queue for HETEROGENEOUS batch jobs: grain 1, so a
+/// worker pulls the next job the moment it finishes the last one.  This
+/// is the campaign scheduler's shape — wafer-shard jobs differ in cost
+/// by orders of magnitude across sweep cells (per-die MC budget, wafer
+/// geometry, escalation mix), so the contiguous chunks parallel_for
+/// hands out would strand the tail of a sweep on one worker.  Same
+/// determinism stance as parallel_for: the schedule must not leak into
+/// the output; callers write into per-job slots and derive randomness
+/// from the job index alone.
+template <typename StateFactory, typename Body>
+void parallel_jobs(ThreadPool& pool, std::size_t n, StateFactory&& make_state,
+                   Body&& body) {
+  parallel_for_grained(pool, n, 1, std::forward<StateFactory>(make_state),
+                       std::forward<Body>(body));
 }
 
 /// Stateless parallel_for: body(i) exactly once per index, unspecified

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numbers>
 #include <sstream>
@@ -49,6 +50,103 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+// Deterministic fixed-point quantizer of ExactMoments: round-half-away
+// from zero at 2^-kFracBits resolution, saturating at |q| = 2^40 (so q²
+// <= 2^80 and the 128-bit sums stay exact past 2^40 samples).  NaN maps
+// to 0 so a poisoned metric cannot make the reduction order-sensitive.
+constexpr std::int64_t kQuantMax = std::int64_t{1} << 40;
+
+std::int64_t quantize(double x) {
+  if (std::isnan(x)) return 0;
+  const double scaled = x * static_cast<double>(std::int64_t{1}
+                                               << ExactMoments::kFracBits);
+  if (scaled >= static_cast<double>(kQuantMax)) return kQuantMax;
+  if (scaled <= -static_cast<double>(kQuantMax)) return -kQuantMax;
+  return std::llround(scaled);
+}
+
+double int128_to_double(__int128 v) { return static_cast<double>(v); }
+
+}  // namespace
+
+void ExactMoments::add(double x) {
+  const double v = std::isnan(x) ? 0.0 : x;
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const __int128 q = quantize(x);
+  sum_ += q;
+  sumsq_ += q * q;
+}
+
+void ExactMoments::merge(const ExactMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  sumsq_ += other.sumsq_;
+}
+
+double ExactMoments::mean() const {
+  if (n_ == 0) return 0.0;
+  return int128_to_double(sum_) / static_cast<double>(n_) /
+         static_cast<double>(std::int64_t{1} << kFracBits);
+}
+
+double ExactMoments::variance() const {
+  if (n_ < 2) return 0.0;
+  // Computed in doubles FROM the exact integer state, so it is a pure
+  // function of the (partition-invariant) sums — deterministic even
+  // though the arithmetic here rounds.
+  const auto n = static_cast<double>(n_);
+  const double s1 = int128_to_double(sum_);
+  const double s2 = int128_to_double(sumsq_);
+  const double scale = static_cast<double>(std::int64_t{1} << kFracBits);
+  const double var = (s2 - s1 * (s1 / n)) / (n - 1.0) / (scale * scale);
+  return std::max(var, 0.0);
+}
+
+double ExactMoments::stddev() const { return std::sqrt(variance()); }
+
+ExactMoments::State ExactMoments::state() const {
+  State s;
+  s.n = n_;
+  s.sum_hi = static_cast<std::int64_t>(sum_ >> 64);
+  s.sum_lo = static_cast<std::uint64_t>(sum_);
+  s.sumsq_hi = static_cast<std::int64_t>(sumsq_ >> 64);
+  s.sumsq_lo = static_cast<std::uint64_t>(sumsq_);
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof min_);
+  std::memcpy(&bits, &min_, sizeof bits);
+  s.min_bits = bits;
+  std::memcpy(&bits, &max_, sizeof bits);
+  s.max_bits = bits;
+  return s;
+}
+
+ExactMoments ExactMoments::from_state(const State& s) {
+  ExactMoments m;
+  m.n_ = s.n;
+  m.sum_ = (static_cast<__int128>(s.sum_hi) << 64) |
+           static_cast<unsigned __int128>(s.sum_lo);
+  m.sumsq_ = (static_cast<__int128>(s.sumsq_hi) << 64) |
+             static_cast<unsigned __int128>(s.sumsq_lo);
+  std::memcpy(&m.min_, &s.min_bits, sizeof m.min_);
+  std::memcpy(&m.max_, &s.max_bits, sizeof m.max_);
+  return m;
+}
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),

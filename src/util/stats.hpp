@@ -5,6 +5,7 @@
 // critical-path distributions (95 % confidence).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,71 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order- AND partition-invariant mergeable moment accumulator: the
+/// campaign layer's cross-shard streaming reducer (DESIGN.md §15).
+/// RunningStats::merge is ulp-accurate but NOT invariant to how a sample
+/// set is split — the shape of the merge tree steers the floating-point
+/// rounding — which would break the campaign contract that the final
+/// report is byte-identical for any shard size.  ExactMoments instead
+/// quantizes each sample to a 2^-20 fixed-point grid and accumulates
+/// exact 128-bit integer sums of q and q², plus exact min/max, so add()
+/// and merge() are fully commutative and associative: ANY partition of a
+/// sample set, merged in any order or tree shape, reproduces the
+/// single-pass accumulator bit-for-bit (tests/test_util_stats.cpp).
+///
+/// The price is the quantization: mean/variance are those of the
+/// quantized samples (|mean error| <= 2^-21 absolute — fine for the
+/// mW / GHz / ns-scale metrics it aggregates; not a general-purpose
+/// statistic).  Exactness domain: |x| <= 2^20 (~1.05e6); larger finite
+/// magnitudes saturate the per-sample quantizer deterministically (the
+/// invariance properties survive, the moments are then clamped), and NaN
+/// samples deterministically count as 0.0.  Sums stay exact past 2^40
+/// samples at the saturation bound.
+class ExactMoments {
+ public:
+  void add(double x);
+  void merge(const ExactMoments& other);
+
+  std::size_t count() const { return static_cast<std::size_t>(n_); }
+  double mean() const;
+  /// Unbiased sample variance of the quantized samples (n-1 denominator);
+  /// 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Exact serializable state: from_state(state()) reproduces the
+  /// accumulator bit-for-bit (the campaign checkpoint records round-trip
+  /// through this).  min/max travel as IEEE-754 bit patterns.
+  struct State {
+    std::uint64_t n = 0;
+    std::int64_t sum_hi = 0;
+    std::uint64_t sum_lo = 0;
+    std::int64_t sumsq_hi = 0;
+    std::uint64_t sumsq_lo = 0;
+    std::uint64_t min_bits = 0;
+    std::uint64_t max_bits = 0;
+    bool operator==(const State&) const = default;
+  };
+  State state() const;
+  static ExactMoments from_state(const State& s);
+
+  bool operator==(const ExactMoments& other) const {
+    return state() == other.state();
+  }
+
+  /// Fixed-point resolution of the quantizer (2^-20 ~ 1e-6).
+  static constexpr int kFracBits = 20;
+
+ private:
+  __int128 sum_ = 0;    ///< Σ quantize(x)
+  __int128 sumsq_ = 0;  ///< Σ quantize(x)²
+  std::uint64_t n_ = 0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -92,6 +92,7 @@ class VariationModel {
 
   const ExposureField& field() const { return *field_; }
   const CharParams& char_params() const { return cp_; }
+  const VariationConfig& config() const { return cfg_; }
   double sigma_random_nm() const { return sigma_rnd_; }
 
   /// Systematic Lgate [nm] for a cell of a core at `loc`.

@@ -39,6 +39,70 @@ std::string YieldReport::policy_glyphs() const {
   return glyphs;
 }
 
+int per_die_mc_budget(const McConfig& mc) {
+  return std::max(mc.adaptive.enabled ? mc.adaptive.max_samples : mc.samples,
+                  0);
+}
+
+void YieldAggregate::add(const DieOutcome& d, int num_islands,
+                         int per_die_budget) {
+  if (island_activation.empty()) {
+    island_activation.assign(static_cast<std::size_t>(num_islands) + 1, 0);
+  }
+  ++dies;
+  const auto p = static_cast<std::size_t>(d.policy);
+  ++policy_count[p];
+  power_mw[p].add(d.total_mw);
+  leakage_mw[p].add(d.leakage_mw);
+  if (d.policy == TuningPolicy::AllLow ||
+      d.policy == TuningPolicy::NestedIslands) {
+    ++island_activation[static_cast<std::size_t>(
+        std::clamp<int>(d.islands_raised, 0, num_islands))];
+  }
+  if (d.policy != TuningPolicy::Discard && d.fmax_ghz > 0.0) {
+    fmax_ghz.add(d.fmax_ghz);
+  }
+  wns_all_low_ns.add(d.wns_all_low_ns);
+  wns_final_ns.add(d.wns_final_ns);
+  timing_met += d.timing_met ? 1 : 0;
+  escalated += d.escalated ? 1 : 0;
+  missed_violation += d.missed_violation ? 1 : 0;
+  mc_severity_sum += static_cast<std::uint64_t>(std::max(d.mc_severity, 0));
+  mc_samples_drawn += static_cast<std::uint64_t>(std::max(d.mc_samples, 0));
+  mc_samples_budget += static_cast<std::uint64_t>(std::max(per_die_budget, 0));
+  if (d.mc_stop == McStop::Converged) ++mc_converged_dies;
+}
+
+void YieldAggregate::merge(const YieldAggregate& other) {
+  if (other.dies == 0) return;
+  if (island_activation.empty()) {
+    island_activation.assign(other.island_activation.size(), 0);
+  }
+  if (island_activation.size() != other.island_activation.size()) {
+    throw std::invalid_argument(
+        "YieldAggregate::merge: island histogram size mismatch");
+  }
+  dies += other.dies;
+  for (std::size_t p = 0; p < policy_count.size(); ++p) {
+    policy_count[p] += other.policy_count[p];
+    power_mw[p].merge(other.power_mw[p]);
+    leakage_mw[p].merge(other.leakage_mw[p]);
+  }
+  for (std::size_t k = 0; k < island_activation.size(); ++k) {
+    island_activation[k] += other.island_activation[k];
+  }
+  timing_met += other.timing_met;
+  escalated += other.escalated;
+  missed_violation += other.missed_violation;
+  mc_severity_sum += other.mc_severity_sum;
+  mc_samples_drawn += other.mc_samples_drawn;
+  mc_samples_budget += other.mc_samples_budget;
+  mc_converged_dies += other.mc_converged_dies;
+  fmax_ghz.merge(other.fmax_ghz);
+  wns_all_low_ns.merge(other.wns_all_low_ns);
+  wns_final_ns.merge(other.wns_final_ns);
+}
+
 YieldAnalyzer::YieldAnalyzer(const Design& design, const StaEngine& sta,
                              const VariationModel& model,
                              const IslandPlan& plan, const RazorPlan& sensors,
@@ -140,15 +204,59 @@ DieOutcome YieldAnalyzer::analyze_die_with(
   return out;
 }
 
+std::size_t YieldAnalyzer::reticle_slot(const WaferModel& wafer,
+                                        const WaferDie& die) {
+  const auto side = static_cast<std::size_t>(wafer.dies_per_field_side());
+  return static_cast<std::size_t>(die.die_iy) * side +
+         static_cast<std::size_t>(die.die_ix);
+}
+
+std::vector<std::vector<double>> YieldAnalyzer::reticle_slot_maps(
+    const WaferModel& wafer) const {
+  // A die's location depends only on its (die_ix, die_iy) slot in the
+  // reticle, so every die of a slot shares the systematic map — side²
+  // polynomial evaluations over the netlist instead of one per die.
+  const auto side = static_cast<std::size_t>(wafer.dies_per_field_side());
+  std::vector<std::vector<double>> maps(side * side);
+  for (const WaferDie& d : wafer.dies()) {
+    auto& map = maps[reticle_slot(wafer, d)];
+    if (map.empty()) map = model_->systematic_lgates(*design_, d.location);
+  }
+  return maps;
+}
+
+YieldAggregate YieldAnalyzer::analyze_shard(
+    StaEngine& engine, CompensationController& ctrl, const WaferModel& wafer,
+    const YieldConfig& cfg, std::size_t die_begin, std::size_t die_end,
+    std::span<const std::vector<double>> slot_maps) const {
+  if (die_begin > die_end || die_end > wafer.num_dies()) {
+    throw std::invalid_argument("analyze_shard: die range out of bounds");
+  }
+  std::vector<std::vector<double>> local_maps;
+  if (slot_maps.empty()) {
+    local_maps = reticle_slot_maps(wafer);
+    slot_maps = local_maps;
+  }
+  YieldAggregate agg;
+  agg.island_activation.assign(
+      static_cast<std::size_t>(plan_->num_islands()) + 1, 0);
+  const int budget = per_die_mc_budget(cfg.mc);
+  for (std::size_t i = die_begin; i < die_end; ++i) {
+    const WaferDie& die = wafer.dies()[i];
+    agg.add(analyze_die_with(engine, ctrl, die, cfg,
+                             slot_maps[reticle_slot(wafer, die)]),
+            plan_->num_islands(), budget);
+  }
+  return agg;
+}
+
 void YieldAnalyzer::aggregate(YieldReport& report) const {
   report.island_activation.assign(
       static_cast<std::size_t>(plan_->num_islands()) + 1, 0);
   // Adaptive-sampling accounting: the budget is what a fixed-budget run
   // would have drawn per die (max_samples when adaptive, mc.samples
   // otherwise); what each die actually drew is in DieOutcome::mc_samples.
-  const McConfig& mc = report.config.mc;
-  const int per_die_budget =
-      std::max(mc.adaptive.enabled ? mc.adaptive.max_samples : mc.samples, 0);
+  const int per_die_budget = per_die_mc_budget(report.config.mc);
   report.mc_samples_budget =
       report.dies.size() * static_cast<std::size_t>(per_die_budget);
   report.mc_samples_drawn = 0;
@@ -204,21 +312,10 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   const std::vector<WaferDie>& dies = wafer.dies();
   report.dies.resize(dies.size());
 
-  // Per-reticle-slot systematic Lgate maps: a die's location depends only
-  // on its (die_ix, die_iy) slot in the reticle, so every die of a slot
-  // shares the map — 4 polynomial evaluations over the netlist at the
-  // default 2x2 geometry instead of one per die.
-  const int side = wafer.dies_per_field_side();
-  std::vector<std::vector<double>> slot_maps(
-      static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
-  const auto slot_of = [side](const WaferDie& d) {
-    return static_cast<std::size_t>(d.die_iy) * static_cast<std::size_t>(side) +
-           static_cast<std::size_t>(d.die_ix);
+  const std::vector<std::vector<double>> slot_maps = reticle_slot_maps(wafer);
+  const auto slot_of = [&wafer](const WaferDie& d) {
+    return reticle_slot(wafer, d);
   };
-  for (const WaferDie& d : dies) {
-    auto& map = slot_maps[slot_of(d)];
-    if (map.empty()) map = model_->systematic_lgates(*design_, d.location);
-  }
 
   // Worker state: an engine clone plus a persistent controller whose
   // per-level base snapshots amortize NLDM delay calculation across all

@@ -96,6 +96,62 @@ struct DieOutcome {
   double leakage_mw = 0.0;
 };
 
+/// The worst-case per-die MC sample budget of a config: max_samples when
+/// adaptive sampling is on, the fixed mc.samples otherwise (never
+/// negative).  Both YieldReport accounting and the campaign layer's
+/// streaming reducers charge budgets through this one definition.
+int per_die_mc_budget(const McConfig& mc);
+
+/// Partition-invariant mergeable aggregate over die outcomes: the
+/// campaign layer's streaming reducer (DESIGN.md §15).  Holds ONLY
+/// O(1)-in-dies state — exact integer tallies plus ExactMoments — so a
+/// shard worker can reduce its dies as it goes and discard every
+/// per-die result.  add() and merge() commute and associate exactly:
+/// aggregating dies one-by-one, or in shards of ANY size merged in any
+/// order, produces bit-identical state (this is what makes the campaign
+/// report byte-identical across shard sizes and thread counts).  Speed
+/// bins are deliberately absent: their edges depend on the global fmax
+/// extrema, which no one-pass partition-invariant reducer can bin
+/// against — campaign consumers derive bins from the fmax moments or
+/// from per-die CSVs.
+struct YieldAggregate {
+  std::uint64_t dies = 0;
+  std::array<std::uint64_t, kNumTuningPolicies> policy_count{};
+  /// Histogram of islands_raised over island-compensated dies (index 0 =
+  /// all-low); size num_islands()+1, fixed at construction by
+  /// analyze_shard (merge() rejects mismatched sizes).
+  std::vector<std::uint64_t> island_activation;
+  std::uint64_t timing_met = 0;
+  std::uint64_t escalated = 0;
+  std::uint64_t missed_violation = 0;
+  std::uint64_t mc_severity_sum = 0;
+  std::uint64_t mc_samples_drawn = 0;
+  std::uint64_t mc_samples_budget = 0;
+  std::uint64_t mc_converged_dies = 0;
+  ExactMoments fmax_ghz;  ///< over shipped dies with fmax > 0
+  ExactMoments wns_all_low_ns;  ///< over all dies
+  ExactMoments wns_final_ns;    ///< over all dies
+  std::array<ExactMoments, kNumTuningPolicies> power_mw;
+  std::array<ExactMoments, kNumTuningPolicies> leakage_mw;
+
+  /// Fold one die in.  `num_islands` sizes/clamps the activation
+  /// histogram; `per_die_budget` is per_die_mc_budget(cfg.mc).
+  void add(const DieOutcome& d, int num_islands, int per_die_budget);
+  /// Exact reduction; throws std::invalid_argument when the activation
+  /// histograms disagree in size (aggregates from different island
+  /// plans).
+  void merge(const YieldAggregate& other);
+
+  std::uint64_t shipped_dies() const {
+    return dies - policy_count[static_cast<std::size_t>(TuningPolicy::Discard)];
+  }
+  double parametric_yield() const {
+    return dies == 0 ? 0.0
+                     : static_cast<double>(shipped_dies()) /
+                           static_cast<double>(dies);
+  }
+};
+
 struct YieldReport {
   WaferConfig wafer{};
   YieldConfig config{};
@@ -191,6 +247,31 @@ class YieldAnalyzer {
   DieOutcome analyze_die_with(StaEngine& engine, CompensationController& ctrl,
                               const WaferDie& die, const YieldConfig& cfg,
                               std::span<const double> systematic) const;
+
+  /// Dense reticle-slot index of a die: die_iy * dies_per_field_side +
+  /// die_ix.  All dies of a slot share one systematic Lgate map.
+  static std::size_t reticle_slot(const WaferModel& wafer, const WaferDie& die);
+
+  /// The systematic Lgate map of every reticle slot (size side²,
+  /// indexed by reticle_slot).  analyze() computes this once per wafer;
+  /// the campaign layer computes it once per (variant, wafer geometry)
+  /// and shares it read-only across every shard of the sweep.
+  std::vector<std::vector<double>> reticle_slot_maps(
+      const WaferModel& wafer) const;
+
+  /// Shard-ranged analysis: run dies [die_begin, die_end) of the wafer
+  /// on caller-owned worker state and reduce them straight into a
+  /// mergeable YieldAggregate — no per-die outcome is retained, which is
+  /// what keeps a streaming campaign O(1) in dies.  `slot_maps` is
+  /// reticle_slot_maps(wafer) (shared read-only; an empty span makes the
+  /// shard compute maps itself).  Per-die bits are identical to
+  /// analyze_die(), so aggregating any partition of [0, num_dies) and
+  /// merging reproduces the aggregate of a full analyze() run exactly.
+  YieldAggregate analyze_shard(
+      StaEngine& engine, CompensationController& ctrl,
+      const WaferModel& wafer, const YieldConfig& cfg, std::size_t die_begin,
+      std::size_t die_end,
+      std::span<const std::vector<double>> slot_maps = {}) const;
 
  private:
   void aggregate(YieldReport& report) const;

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -405,6 +407,142 @@ TEST_P(ChiSqMonotone, DecreasingInX) {
 
 INSTANTIATE_TEST_SUITE_P(Dofs, ChiSqMonotone,
                          ::testing::Values(1.0, 2.0, 3.0, 5.0, 10.0, 25.0));
+
+// ---- Welford merge vs single pass, cross-validated over many splits -------
+
+TEST(RunningStats, MergeAgreesWithSinglePassForArbitrarySplits) {
+  // The campaign layer leans on merge() being a faithful reduction; this
+  // cross-validates Chan's pairwise update against the single-pass
+  // accumulator over many random split points, with an ulp-scale
+  // relative bound (merge is accurate, just not bit-invariant — that is
+  // ExactMoments' job below).
+  Rng rng(0x517a75);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.normal(0.8, 2.5);
+
+  RunningStats whole;
+  for (const double x : xs) whole.add(x);
+
+  Rng splits(99);
+  for (int trial = 0; trial < 32; ++trial) {
+    // 1..4 random cut points -> 2..5 segments merged left to right.
+    std::vector<std::size_t> cuts = {0, xs.size()};
+    const int k = 1 + static_cast<int>(splits.below(4));
+    for (int c = 0; c < k; ++c) cuts.push_back(splits.below(xs.size()));
+    std::sort(cuts.begin(), cuts.end());
+
+    RunningStats merged;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      RunningStats seg;
+      for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) seg.add(xs[i]);
+      merged.merge(seg);
+    }
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * std::abs(whole.mean()));
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-11 * whole.variance());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
+// ---- ExactMoments: the partition-invariant campaign reducer ---------------
+
+TEST(ExactMoments, MatchesRunningStatsWithinQuantizerResolution) {
+  Rng rng(0xe8ac7);
+  ExactMoments em;
+  RunningStats rs;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.normal(5.0, 1.7);
+    em.add(x);
+    rs.add(x);
+  }
+  const double q = std::ldexp(1.0, -ExactMoments::kFracBits);
+  EXPECT_EQ(em.count(), rs.count());
+  EXPECT_NEAR(em.mean(), rs.mean(), q);
+  EXPECT_NEAR(em.stddev(), rs.stddev(), 4.0 * q);
+  EXPECT_DOUBLE_EQ(em.min(), rs.min());  // min/max are exact doubles
+  EXPECT_DOUBLE_EQ(em.max(), rs.max());
+}
+
+TEST(ExactMoments, PartitionInvariantBitForBit) {
+  // THE property the campaign determinism gate stands on: any partition
+  // of the sample stream, merged in any order, reproduces the
+  // single-pass accumulator state exactly — not approximately.
+  Rng rng(0xbeef);
+  std::vector<double> xs(3000);
+  for (double& x : xs) x = rng.normal(-2.0, 40.0);
+
+  ExactMoments whole;
+  for (const double x : xs) whole.add(x);
+
+  Rng splits(3);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::vector<std::size_t> cuts = {0, xs.size()};
+    for (int c = 0; c < 5; ++c) cuts.push_back(splits.below(xs.size()));
+    std::sort(cuts.begin(), cuts.end());
+
+    std::vector<ExactMoments> segs;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      ExactMoments seg;
+      for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) seg.add(xs[i]);
+      segs.push_back(seg);
+    }
+    // Merge right-to-left — the adversarial order for a tree-shaped
+    // floating-point reduction; exact integers don't care.
+    ExactMoments merged;
+    for (auto it = segs.rbegin(); it != segs.rend(); ++it) merged.merge(*it);
+    EXPECT_TRUE(merged == whole) << "trial " << trial;
+    EXPECT_TRUE(merged.state() == whole.state());
+  }
+}
+
+TEST(ExactMoments, StateRoundTripsBitForBit) {
+  ExactMoments em;
+  for (const double x : {-1e5, 0.015625, 3.141592653589793, 7.5e-7}) em.add(x);
+  const ExactMoments back = ExactMoments::from_state(em.state());
+  EXPECT_TRUE(back == em);
+  EXPECT_EQ(back.count(), em.count());
+  EXPECT_DOUBLE_EQ(back.mean(), em.mean());
+  EXPECT_DOUBLE_EQ(back.variance(), em.variance());
+  EXPECT_DOUBLE_EQ(back.min(), em.min());
+  EXPECT_DOUBLE_EQ(back.max(), em.max());
+}
+
+TEST(ExactMoments, SaturatesAndSanitizesOutOfDomainInputs) {
+  // Quantization saturates at |x| = 2^(40-kFracBits); far-out samples
+  // clamp instead of overflowing, and NaN deterministically counts as 0.
+  const double cap = std::ldexp(1.0, 40 - ExactMoments::kFracBits);
+  ExactMoments em;
+  em.add(1e300);
+  em.add(-1e300);
+  EXPECT_EQ(em.count(), 2u);
+  EXPECT_DOUBLE_EQ(em.mean(), 0.0);  // +cap and -cap cancel exactly
+  EXPECT_NEAR(em.stddev(), cap * std::numbers::sqrt2, 1e-6 * cap);
+
+  ExactMoments nan_case;
+  nan_case.add(std::numeric_limits<double>::quiet_NaN());
+  nan_case.add(2.0);
+  EXPECT_EQ(nan_case.count(), 2u);
+  EXPECT_DOUBLE_EQ(nan_case.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(nan_case.min(), 0.0);
+  EXPECT_DOUBLE_EQ(nan_case.max(), 2.0);
+}
+
+TEST(ExactMoments, EmptyAndSingletonEdges) {
+  ExactMoments em;
+  EXPECT_EQ(em.count(), 0u);
+  EXPECT_EQ(em.mean(), 0.0);
+  EXPECT_EQ(em.variance(), 0.0);
+  em.add(4.25);
+  EXPECT_DOUBLE_EQ(em.mean(), 4.25);
+  EXPECT_EQ(em.variance(), 0.0);  // n-1 denominator: undefined -> 0
+  ExactMoments other;
+  other.merge(em);  // merge into empty copies
+  EXPECT_TRUE(other == em);
+  em.merge(ExactMoments{});  // merge with empty is a no-op
+  EXPECT_DOUBLE_EQ(em.mean(), 4.25);
+}
 
 }  // namespace
 }  // namespace vipvt
