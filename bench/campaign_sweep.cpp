@@ -8,6 +8,9 @@
 //   2. Kill-and-resume: a campaign checkpointed at the halfway job and
 //      resumed must reproduce BOTH the uninterrupted report bytes AND
 //      the uninterrupted NDJSON stream bytes.
+//   3. Both of the above again with the analytical triage tier enabled
+//      (DESIGN.md §16), covering the schema-v2 checkpoint's triage
+//      tallies across a kill/resume boundary.
 //
 // Also measures campaign throughput (dies/sec through the full per-die
 // MC + compensation pipeline) and records the streaming layer's O(1)
@@ -195,6 +198,71 @@ int main(int argc, char** argv) {
   }
   out.set("resume_jobs_total", static_cast<double>(full_stats.jobs_total));
   out.set("resume_jobs_resumed", static_cast<double>(resume_stats.jobs_resumed));
+
+  // ---- gate 3: determinism + resume with analytical triage on ------------
+  // The same two contracts with the triage tier enabled (DESIGN.md §16):
+  // the per-slot screen is a pure function of (variant, geometry, cfg),
+  // so shard size, thread count, and a kill/resume boundary must not
+  // change a single byte of the report or the NDJSON stream — including
+  // the triage_analytical / triage_mc_fallback tallies the checkpoint
+  // now carries (schema v2).
+  {
+    CampaignSpec ts = spec;
+    ts.base.triage.enabled = true;
+    const auto t2 = clock::now();
+    const CampaignReport triage_serial = runner.run(ts);
+    const std::chrono::duration<double> triage_dt = clock::now() - t2;
+    const std::string triage_reference = report_bytes(triage_serial);
+    out.set("triage_serial_s", triage_dt.count());
+    out.set("triage_dies_per_sec", total_dies / triage_dt.count());
+    for (const int shard : {1, 3}) {
+      for (const unsigned threads : {1u, 2u}) {
+        CampaignSpec s = ts;
+        s.shard_dies = shard;
+        ThreadPool pool(threads);
+        CampaignRunOptions opts;
+        opts.pool = &pool;
+        if (report_bytes(runner.run(s, opts)) != triage_reference) {
+          std::printf("DETERMINISM VIOLATION: triaged report bytes differ "
+                      "at shard_dies=%d threads=%u\n", shard, threads);
+          return 1;
+        }
+      }
+    }
+
+    const std::string tfull = (tmp / "vipvt_campaign_tfull.ndjson").string();
+    const std::string tcut = (tmp / "vipvt_campaign_tcut.ndjson").string();
+    CampaignRunOptions tfull_opts;
+    tfull_opts.stream_path = tfull;
+    CampaignRunStats tfull_stats;
+    tfull_opts.stats = &tfull_stats;
+    const CampaignReport tuninterrupted = runner.run(ts, tfull_opts);
+    CampaignRunOptions tcut_opts;
+    tcut_opts.stream_path = tcut;
+    tcut_opts.stop_after_jobs = tfull_stats.jobs_total / 2;
+    (void)runner.run(ts, tcut_opts);
+    CampaignRunOptions tresume_opts;
+    tresume_opts.stream_path = tcut;
+    tresume_opts.resume = true;
+    const CampaignReport tresumed = runner.run(ts, tresume_opts);
+    const bool t_report_same =
+        report_bytes(tresumed) == report_bytes(tuninterrupted);
+    const bool t_stream_same = file_bytes(tcut) == file_bytes(tfull);
+    std::printf("triage-enabled gates: shard/thread invariance ok, resume "
+                "-> report %s, stream %s (%.1fx campaign speedup vs full "
+                "MC)\n\n",
+                t_report_same ? "byte-identical" : "DIVERGED",
+                t_stream_same ? "byte-identical" : "DIVERGED",
+                serial_dt.count() / triage_dt.count());
+    std::filesystem::remove(tfull);
+    std::filesystem::remove(tcut);
+    if (!t_report_same || !t_stream_same) {
+      std::printf("DETERMINISM VIOLATION: triaged campaign diverged across "
+                  "a kill/resume boundary\n");
+      return 1;
+    }
+    out.set("triage_speedup_vs_full_mc", serial_dt.count() / triage_dt.count());
+  }
 
   // ---- streaming O(1) evidence -------------------------------------------
   // The campaign's transient state is the reorder buffer; its high-water

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -80,11 +81,41 @@ inline void print_header(const char* id, const char* title) {
   std::printf("==============================================================\n");
 }
 
+/// Short git revision of the working tree, or "unknown" outside a repo /
+/// without git on PATH.  Shelling out keeps the build free of a libgit
+/// dependency; a bench runs once per result file, so the popen cost is
+/// irrelevant.
+inline std::string git_short_sha() {
+  FILE* p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, p);
+  const int rc = ::pclose(p);
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  if (rc != 0 || sha.empty()) return "unknown";
+  return sha;
+}
+
+/// Current UTC time as ISO-8601 (e.g. "2026-08-08T12:34:56Z").
+inline std::string iso_utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 /// Machine-readable bench result sink: accumulate flat key -> number
 /// metrics and emit them as a small JSON file (e.g. BENCH_wafer.json) so
 /// future PRs can track performance trajectories without parsing the
 /// human-oriented tables.  Keys are emitted in insertion order; numbers
-/// with fixed precision — the file diffs cleanly run-to-run.
+/// with fixed precision — the file diffs cleanly run-to-run.  Every file
+/// carries provenance (git_sha of the tree that produced it, UTC
+/// timestamp) so a committed number is attributable to a revision.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
@@ -93,11 +124,15 @@ class BenchJson {
     metrics_.emplace_back(key, value);
   }
 
-  /// Writes {"bench": name, "metrics": {...}} to `path`.
+  /// Writes {"bench": name, "git_sha": ..., "date": ..., "metrics": {...}}
+  /// to `path`.
   void write(const std::string& path) const {
     std::ofstream os(path);
     if (!os) throw std::runtime_error("cannot open " + path + " for writing");
-    os << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    os << "{\n  \"bench\": \"" << name_ << "\",\n"
+       << "  \"git_sha\": \"" << git_short_sha() << "\",\n"
+       << "  \"date\": \"" << iso_utc_now() << "\",\n"
+       << "  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       char buf[64];
       std::snprintf(buf, sizeof buf, "%.6f", metrics_[i].second);

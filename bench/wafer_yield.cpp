@@ -8,7 +8,11 @@
 // recorded under oversub_* keys and never reported as speedups.  A
 // second sweep repeats the run under the Batched draw profile (bulk
 // normals + factor tables in the per-die MC), which must be identical
-// across thread counts WITHIN the profile.
+// across thread counts WITHIN the profile.  A third sweep turns the
+// analytical triage tier on (DESIGN.md §16) and hard-gates on its
+// contract: non-MC outputs bit-identical to the triage-off run, and the
+// analytic severity verdict agreeing with full MC within the confidence
+// band's stated error rate — exit 1 beyond either bound.
 //
 // Emits BENCH_wafer.json with dies/sec and speedups for trajectory
 // tracking across PRs.
@@ -19,6 +23,7 @@
 // substream seed), --out PATH.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -79,10 +84,11 @@ int main(int argc, char** argv) {
 
   // Each wafer of a multi-wafer run gets its own substream seed (the
   // same derivation the campaign layer uses); --wafers 1 keeps the
-  // historical single-wafer bytes.
-  const auto run = [&](DrawProfile profile, ThreadPool* pool) {
-    YieldConfig cfg = yc;
-    cfg.mc.profile = profile;
+  // historical single-wafer bytes.  The base config (profile, triage)
+  // comes from the caller so every section — scalar, batched, triaged —
+  // runs through the same timed loop.
+  const auto run = [&](const YieldConfig& base_cfg, ThreadPool* pool) {
+    YieldConfig cfg = base_cfg;
     std::vector<YieldReport> reports;
     reports.reserve(static_cast<std::size_t>(num_wafers));
     const auto t0 = clock::now();
@@ -95,9 +101,15 @@ int main(int argc, char** argv) {
     const std::chrono::duration<double> dt = clock::now() - t0;
     return std::pair{std::move(reports), dt.count()};
   };
+  const auto with_profile = [&](DrawProfile profile) {
+    YieldConfig cfg = yc;
+    cfg.mc.profile = profile;
+    return cfg;
+  };
 
   // Serial reference (no pool involved at all).
-  auto [serial_reports, serial_s] = run(DrawProfile::Scalar, nullptr);
+  auto [serial_reports, serial_s] = run(with_profile(DrawProfile::Scalar),
+                                        nullptr);
   const YieldReport& serial_report = serial_reports.front();
   const auto dies =
       static_cast<double>(wafer.num_dies()) * static_cast<double>(num_wafers);
@@ -128,7 +140,7 @@ int main(int argc, char** argv) {
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     const bool oversub = threads > hw;
     ThreadPool pool(threads);
-    auto [report, secs] = run(DrawProfile::Scalar, &pool);
+    auto [report, secs] = run(with_profile(DrawProfile::Scalar), &pool);
     const bool same = fingerprint(report) == reference;
     const double speedup = serial_s / secs;
     if (threads == 4 && !oversub) speedup_at_4 = speedup;
@@ -161,7 +173,8 @@ int main(int argc, char** argv) {
   // per-sample stream differs from Scalar by design, so the two
   // profiles' reports are compared statistically in bench/mc_ssta, not
   // here).
-  auto [batched_serial, batched_s] = run(DrawProfile::Batched, nullptr);
+  auto [batched_serial, batched_s] = run(with_profile(DrawProfile::Batched),
+                                         nullptr);
   const std::string batched_reference = fingerprint(batched_serial);
   Table bt({"threads", "wall [s]", "dies/sec", "vs scalar", "identical"});
   bt.add_row({"serial", Table::num(batched_s, 2),
@@ -172,7 +185,7 @@ int main(int argc, char** argv) {
   for (unsigned threads : {2u, 4u}) {
     const bool oversub = threads > hw;
     ThreadPool pool(threads);
-    auto [report, secs] = run(DrawProfile::Batched, &pool);
+    auto [report, secs] = run(with_profile(DrawProfile::Batched), &pool);
     const bool same = fingerprint(report) == batched_reference;
     char label[32];
     std::snprintf(label, sizeof label, "%u%s", threads,
@@ -192,6 +205,111 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", bt.render().c_str());
+
+  // Same wafer again with the analytical triage tier on (DESIGN.md §16):
+  // one canonical-SSTA pass per reticle slot screens the wafer, and dies
+  // whose analytic 3-sigma margin clears the confidence band skip their
+  // MC budget entirely.  Three hard gates ride on this section:
+  //   1. byte-determinism across thread counts, as for every profile;
+  //   2. non-MC exactness — a triaged die's policy / wns / power /
+  //      silicon bits must match the triage-off Batched run EXACTLY (the
+  //      screen may only ever replace MC population statistics);
+  //   3. statistical agreement — among analytically-decided dies, the
+  //      analytic severity verdict may disagree with the full-MC verdict
+  //      on at most ceil(3 * (1 - confidence) * decided) dies, the
+  //      band's stated error rate with 3x headroom.
+  YieldConfig tc = with_profile(DrawProfile::Batched);
+  tc.triage.enabled = true;
+  auto [triage_serial, triage_s] = run(tc, nullptr);
+  const std::string triage_reference = fingerprint(triage_serial);
+  Table tt({"threads", "wall [s]", "dies/sec", "vs batched", "identical"});
+  tt.add_row({"serial", Table::num(triage_s, 2), Table::num(dies / triage_s, 1),
+              Table::num(batched_s / triage_s, 2), "ref"});
+  out.set("triage_dies_per_sec", dies / triage_s);
+  out.set("triage_speedup_vs_batched", batched_s / triage_s);
+  for (unsigned threads : {2u, 4u}) {
+    const bool oversub = threads > hw;
+    ThreadPool pool(threads);
+    auto [report, secs] = run(tc, &pool);
+    const bool same = fingerprint(report) == triage_reference;
+    char label[32];
+    std::snprintf(label, sizeof label, "%u%s", threads,
+                  oversub ? " (oversub)" : "");
+    tt.add_row({label, Table::num(secs, 2), Table::num(dies / secs, 1),
+                oversub ? "-" : Table::num(batched_s / secs, 2),
+                same ? "yes" : "NO (BUG)"});
+    if (!oversub) {
+      char key[64];
+      std::snprintf(key, sizeof key, "triage_dies_per_sec_t%u", threads);
+      out.set(key, dies / secs);
+    }
+    if (!same) {
+      std::printf("DETERMINISM VIOLATION within the triaged profile at "
+                  "%u threads\n", threads);
+      return 1;
+    }
+  }
+  std::printf("%s\n", tt.render().c_str());
+
+  // Gate 2: every output the screen is NOT allowed to touch, compared
+  // bit-for-bit (hexfloat) against the triage-off Batched run.
+  const auto non_mc_fingerprint = [](const std::vector<YieldReport>& rs) {
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const YieldReport& r : rs) {
+      for (const DieOutcome& d : r.dies) {
+        os << d.die_id << ' ' << d.detected_severity << ' '
+           << d.islands_raised << ' ' << static_cast<int>(d.policy) << ' '
+           << d.timing_met << ' ' << d.escalated << ' ' << d.missed_violation
+           << ' ' << d.wns_all_low_ns << ' ' << d.wns_final_ns << ' '
+           << d.total_mw << ' ' << d.leakage_mw << '\n';
+      }
+    }
+    return os.str();
+  };
+  if (non_mc_fingerprint(triage_serial) != non_mc_fingerprint(batched_serial)) {
+    std::printf("TRIAGE VIOLATION: non-MC die outputs differ from the "
+                "triage-off run\n");
+    return 1;
+  }
+
+  // Gate 3: the analytic verdict vs what full MC concluded on the SAME
+  // dies (the triage-off run above, same seeds) — plus the sample-budget
+  // accounting the tier exists for.
+  std::size_t decided = 0, mismatches = 0, mc_saved = 0;
+  for (std::size_t w = 0; w < triage_serial.size(); ++w) {
+    const YieldReport& tr = triage_serial[w];
+    const YieldReport& br = batched_serial[w];
+    for (std::size_t i = 0; i < tr.dies.size(); ++i) {
+      if (tr.dies[i].triage_tier != TriageTier::Analytical) continue;
+      ++decided;
+      mc_saved += static_cast<std::size_t>(br.dies[i].mc_samples);
+      if (tr.dies[i].mc_severity != br.dies[i].mc_severity) ++mismatches;
+    }
+  }
+  const double triage_frac = static_cast<double>(decided) / dies;
+  const auto allowed = static_cast<std::size_t>(std::ceil(
+      3.0 * (1.0 - tc.triage.confidence) * static_cast<double>(decided)));
+  std::printf("triage: %zu/%.0f dies decided analytically (%.0f %%), "
+              "%zu MC samples skipped, severity mismatches vs full MC: "
+              "%zu (allowed %zu)\n\n",
+              decided, dies, 100.0 * triage_frac, mc_saved, mismatches,
+              allowed);
+  out.set("triage_fraction", triage_frac);
+  out.set("triage_analytical_dies", static_cast<double>(decided));
+  out.set("triage_mc_samples_saved", static_cast<double>(mc_saved));
+  out.set("triage_severity_mismatches", static_cast<double>(mismatches));
+  out.set("triage_allowed_mismatches", static_cast<double>(allowed));
+  if (decided == 0) {
+    std::printf("TRIAGE VIOLATION: the screen decided no dies at all on "
+                "this wafer\n");
+    return 1;
+  }
+  if (mismatches > allowed) {
+    std::printf("TRIAGE VIOLATION: analytic verdict disagreed with full MC "
+                "beyond the band's stated error rate\n");
+    return 1;
+  }
 
   // Escalation-level re-corner cost: inside the yield loop, each
   // worker's CompensationController caches one BaseSnapshot per
@@ -254,6 +372,12 @@ int main(int argc, char** argv) {
                     static_cast<double>(delta_eng.num_nodes()),
                 warm_stats.full_fallback ? ", full fallback" : "");
 
+    // Which path each level's re-corner actually took on a warm engine:
+    // recorner_delta falls back to a full recompute when the dirty cone
+    // exceeds StaOptions::recorner_fallback_fraction (DESIGN.md §12), so
+    // the table says which regime the measured cost belongs to.  Level 0
+    // is the one full compute_base by construction.
+    std::vector<int> path_full(static_cast<std::size_t>(levels) + 1, 1);
     bool identical = snap_same(delta_eng.snapshot_bases(), ref[0]);
     for (int rep = 0; rep < kReps; ++rep) {
       for (int k = 0; k <= levels; ++k) {
@@ -270,6 +394,8 @@ int main(int argc, char** argv) {
         const std::chrono::duration<double, std::micro> dt = clock::now() - t0;
         delta_us[static_cast<std::size_t>(k)] += dt.count();
         if (rep == 0) {
+          path_full[static_cast<std::size_t>(k)] =
+              delta_eng.recorner_stats().full_fallback ? 1 : 0;
           identical = identical &&
                       snap_same(delta_eng.snapshot_bases(),
                                 ref[static_cast<std::size_t>(k)]);
@@ -282,22 +408,28 @@ int main(int argc, char** argv) {
     }
 
     double full_total = 0.0, delta_total = delta_level0_us;
-    Table lt({"level", "full [us]", "delta [us]", "speedup"});
+    Table lt({"level", "full [us]", "delta [us]", "speedup", "path"});
     for (int k = 0; k <= levels; ++k) {
       const double f = full_us[static_cast<std::size_t>(k)] / kReps;
       const double d = k == 0 ? delta_level0_us
                               : delta_us[static_cast<std::size_t>(k)] / kReps;
+      const bool fell_back = path_full[static_cast<std::size_t>(k)] != 0;
       full_total += f;
       if (k > 0) delta_total += d;
       char label[32];
       std::snprintf(label, sizeof label, "%d%s", k, k == 0 ? " (full)" : "");
       lt.add_row({label, Table::num(f, 1), Table::num(d, 1),
-                  k == 0 ? "-" : Table::num(f / d, 2)});
+                  k == 0 ? "-" : Table::num(f / d, 2),
+                  k == 0 ? "full" : (fell_back ? "fallback" : "delta")});
       char key[64];
       std::snprintf(key, sizeof key, "level%d_full_us", k);
       out.set(key, f);
       std::snprintf(key, sizeof key, "level%d_delta_us", k);
       out.set(key, d);
+      if (k > 0) {
+        std::snprintf(key, sizeof key, "level%d_fallback", k);
+        out.set(key, fell_back ? 1.0 : 0.0);
+      }
     }
     std::printf("escalation re-corner cost (%d levels, mean of %d reps, "
                 "snapshots %s):\n%s\n",

@@ -190,6 +190,11 @@ struct CampaignRunner::Plan {
   std::vector<ModelSlot> slots;  ///< variant-axis-major x sigma
   /// maps[v][g] = reticle_slot_maps of (variant v, wafer grid g).
   std::vector<std::vector<std::vector<std::vector<double>>>> maps;
+  /// screens[cell] = the cell's analytic triage screen (DESIGN.md §16),
+  /// empty when triage is off.  Computed once in build_plan — a pure
+  /// function of (variant, sigma, geometry, MC budget), never of
+  /// sharding — and shared read-only by every shard of the cell.
+  std::vector<std::vector<SlotTriage>> screens;
   struct Job {
     std::uint32_t cell = 0;
     std::uint32_t wafer = 0;
@@ -250,6 +255,19 @@ void CampaignRunner::build_plan(const CampaignSpec& spec, Plan& plan) const {
     for (const WaferModel& wafer : plan.wafers) {
       plan.maps[v].push_back(
           plan.slots[v * nsig].analyzer->reticle_slot_maps(wafer));
+    }
+  }
+
+  // Per-cell triage screens (empty unless spec.base.triage.enabled):
+  // cells differing only in policy recompute the same screen, which is
+  // side² canonical passes — negligible next to one shard's MC work.
+  plan.screens.resize(plan.cells.size());
+  if (spec.base.triage.enabled) {
+    for (const CampaignCell& cell : plan.cells) {
+      const std::size_t slot = cell.variant * nsig + cell.sigma;
+      plan.screens[cell.index] = plan.slots[slot].analyzer->triage_screen(
+          plan.wafers[cell.wafer_grid], cell.config,
+          plan.maps[cell.variant][cell.wafer_grid]);
     }
   }
 
@@ -335,6 +353,10 @@ std::uint64_t CampaignRunner::spec_digest(const CampaignSpec& spec) const {
   f.u64(b.speed_bins);
   f.flag(b.allow_escalation);
   f.flag(b.allow_chip_wide_fallback);
+  f.flag(b.triage.enabled);
+  f.f64(b.triage.confidence);
+  f.f64(b.triage.band_scale);
+  f.f64(b.triage.model_error_ns);
   return f.h;
 }
 
@@ -488,7 +510,8 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec,
     rec.die_end = job.die_end;
     rec.agg = plan.slots[slot].analyzer->analyze_shard(
         s.engine, s.ctrl, plan.wafers[cell.wafer_grid], cfg, job.die_begin,
-        job.die_end, plan.maps[cell.variant][cell.wafer_grid]);
+        job.die_end, plan.maps[cell.variant][cell.wafer_grid],
+        plan.screens[job.cell]);
 
     std::lock_guard<std::mutex> lock(mu);
     pending.emplace(j, std::move(rec));

@@ -120,7 +120,9 @@ std::string serialize_shard_record(const ShardRecord& r) {
       .u64("sev", r.agg.mc_severity_sum)
       .u64("drawn", r.agg.mc_samples_drawn)
       .u64("budget", r.agg.mc_samples_budget)
-      .u64("conv", r.agg.mc_converged_dies);
+      .u64("conv", r.agg.mc_converged_dies)
+      .u64("tga", r.agg.triage_analytical)
+      .u64("tgm", r.agg.triage_mc_fallback);
   const auto moments = moment_fields(r.agg);
   for (std::size_t i = 0; i < kMomentPrefixes.size(); ++i) {
     put_moments(b, kMomentPrefixes[i], *moments[i]);
@@ -160,6 +162,8 @@ bool parse_shard_record(std::string_view line, ShardRecord& out) {
   if (!ndjson_find_u64(line, "drawn", r.agg.mc_samples_drawn)) return false;
   if (!ndjson_find_u64(line, "budget", r.agg.mc_samples_budget)) return false;
   if (!ndjson_find_u64(line, "conv", r.agg.mc_converged_dies)) return false;
+  if (!ndjson_find_u64(line, "tga", r.agg.triage_analytical)) return false;
+  if (!ndjson_find_u64(line, "tgm", r.agg.triage_mc_fallback)) return false;
   const auto moments = moment_fields(r.agg);
   for (std::size_t i = 0; i < kMomentPrefixes.size(); ++i) {
     if (!get_moments(line, kMomentPrefixes[i], *moments[i])) return false;

@@ -28,7 +28,11 @@ namespace vipvt {
 
 inline constexpr std::string_view kCampaignStreamSchema =
     "vipvt.campaign.ndjson";
-inline constexpr std::uint64_t kCampaignStreamVersion = 1;
+/// Version 2 added the triage tier tallies (tga/tgm, DESIGN.md §16) to
+/// shard records; version-1 streams are not resumable (the digest embeds
+/// the version, so resume refuses them loudly rather than silently
+/// zeroing the new fields).
+inline constexpr std::uint64_t kCampaignStreamVersion = 2;
 
 /// One completed wafer shard: job identity + full reducer state.
 struct ShardRecord {

@@ -113,6 +113,8 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
     os << "     \"mc_samples_drawn\": " << a.mc_samples_drawn
        << ", \"mc_samples_budget\": " << a.mc_samples_budget
        << ", \"mc_converged_dies\": " << a.mc_converged_dies << ",\n";
+    os << "     \"triage_analytical\": " << a.triage_analytical
+       << ", \"triage_mc_fallback\": " << a.triage_mc_fallback << ",\n";
 
     os << "     \"fmax_ghz\": ";
     write_moments_json(os, a.fmax_ghz);

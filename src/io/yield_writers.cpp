@@ -41,7 +41,8 @@ void write_yield_csv(std::ostream& os, const WaferModel& wafer,
   os << "die_id,grid_col,grid_row,center_x_mm,center_y_mm,field_x_mm,"
         "field_y_mm,mc_severity,mc_samples,mc_stop,detected_severity,policy,"
         "islands_raised,timing_met,escalated,missed_violation,wns_all_low_ns,"
-        "wns_final_ns,fmax_ghz,total_mw,leakage_mw\n";
+        "wns_final_ns,fmax_ghz,total_mw,leakage_mw,triage,triage_margin_ns,"
+        "triage_band_ns\n";
   for (const DieOutcome& d : report.dies) {
     const WaferDie& g = wafer.dies()[static_cast<std::size_t>(d.die_id)];
     os << d.die_id << ',' << wafer.grid_col(g) << ',' << wafer.grid_row(g)
@@ -54,7 +55,8 @@ void write_yield_csv(std::ostream& os, const WaferModel& wafer,
        << int{d.escalated} << ',' << int{d.missed_violation} << ','
        << num(d.wns_all_low_ns) << ',' << num(d.wns_final_ns) << ','
        << num(d.fmax_ghz) << ',' << num(d.total_mw) << ','
-       << num(d.leakage_mw) << '\n';
+       << num(d.leakage_mw) << ',' << triage_tier_name(d.triage_tier) << ','
+       << num(d.triage_margin_ns) << ',' << num(d.triage_band_ns) << '\n';
   }
 }
 
@@ -75,6 +77,17 @@ void write_yield_json(std::ostream& os, const YieldReport& report) {
   os << "  \"mc_sample_savings\": " << num(report.mc_sample_savings())
      << ",\n";
   os << "  \"mc_converged_dies\": " << report.mc_converged_dies << ",\n";
+  // Analytical triage accounting (DESIGN.md §16): both counts are 0 and
+  // the fraction 0 when triage is off, so the schema never switches.
+  os << "  \"triage\": {\"enabled\": "
+     << (report.config.triage.enabled ? "true" : "false")
+     << ", \"analytical\": " << report.triage_analytical
+     << ", \"mc_fallback\": " << report.triage_mc_fallback
+     << ", \"fraction\": " << num(report.triage_fraction())
+     << ", \"confidence\": " << num(report.config.triage.confidence)
+     << ", \"band_scale\": " << num(report.config.triage.band_scale)
+     << ", \"model_error_ns\": " << num(report.config.triage.model_error_ns)
+     << "},\n";
   os << "  \"seed\": " << report.config.seed << ",\n";
   os << "  \"total_dies\": " << report.total_dies() << ",\n";
   os << "  \"shipped_dies\": " << report.shipped_dies() << ",\n";

@@ -18,13 +18,26 @@ PowerEngine::PowerEngine(const Design& design, const ActivityDb& activity)
   if (activity.toggle_rate.size() != design.num_nets()) {
     throw std::invalid_argument("PowerEngine: activity/net count mismatch");
   }
+  // Per-net total capacitance (wire + sink pins), reused by every
+  // compute(): a pure function of placement, so hoisting it out of the
+  // per-call loop changes no bits.
+  const WireParams& wp = design.lib().wire();
+  net_cap_.assign(design.num_nets(), 0.0);
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;  // clock tree power out of scope, constant
+    double cap = wp.capacitance(net_hpwl(design, n));
+    for (const auto& sink : net.sinks) {
+      cap += design.cell_of(sink.inst).pins[sink.pin].cap_pf;
+    }
+    net_cap_[n] = cap;
+  }
 }
 
 PowerBreakdown PowerEngine::compute(std::span<const int> domain_corner,
                                     const PowerConfig& cfg) const {
   const Design& d = *design_;
   const Library& lib = d.lib();
-  const WireParams& wp = lib.wire();
   const double f = cfg.clock_freq_ghz;
   const double vdd[kNumCorners] = {lib.char_params().vdd_low,
                                    lib.char_params().vdd_high};
@@ -41,18 +54,6 @@ PowerBreakdown PowerEngine::compute(std::span<const int> domain_corner,
     return dom < domain_corner.size() ? domain_corner[dom] : kVddLow;
   };
 
-  // Per-net total capacitance (wire + sink pins), reused for switching.
-  std::vector<double> net_cap(d.num_nets(), 0.0);
-  for (NetId n = 0; n < d.num_nets(); ++n) {
-    const Net& net = d.net(n);
-    if (net.is_clock) continue;  // clock tree power out of scope, constant
-    double cap = wp.capacitance(net_hpwl(d, n));
-    for (const auto& sink : net.sinks) {
-      cap += d.cell_of(sink.inst).pins[sink.pin].cap_pf;
-    }
-    net_cap[n] = cap;
-  }
-
   for (InstId i = 0; i < d.num_instances(); ++i) {
     const Instance& inst = d.instance(i);
     const Cell& cell = d.cell_of(i);
@@ -66,7 +67,7 @@ PowerBreakdown PowerEngine::compute(std::span<const int> domain_corner,
       if (cell.pins[p].is_input) continue;
       const NetId n = inst.conns[p];
       const double tr = activity_->toggle_rate[n];
-      inst_mw += 0.5 * net_cap[n] * v * v * tr * f;
+      inst_mw += 0.5 * net_cap_[n] * v * v * tr * f;
     }
     out.switching_mw += inst_mw;
 
@@ -79,9 +80,15 @@ PowerBreakdown PowerEngine::compute(std::span<const int> domain_corner,
 
     // Leakage: the library value already carries the corner scale at
     // nominal Lgate; with a variation context we recompute the factor
-    // from the systematic Lgate at the cell's location instead.
+    // from the systematic Lgate at the cell's location instead — read
+    // from the caller's precomputed map when one is supplied (it holds
+    // the identical polynomial evaluations).
     double leak;
-    if (cfg.variation != nullptr && cfg.location != nullptr && inst.placed) {
+    if (cfg.variation != nullptr && inst.placed && i < cfg.systematic.size()) {
+      leak = cell.leakage_mw[kVddLow] *
+             cfg.variation->leakage_factor(cfg.systematic[i], corner);
+    } else if (cfg.variation != nullptr && cfg.location != nullptr &&
+               inst.placed) {
       const double lg =
           cfg.variation->systematic_lgate(inst.pos, *cfg.location);
       leak = cell.leakage_mw[kVddLow] *

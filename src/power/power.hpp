@@ -52,20 +52,33 @@ struct PowerConfig {
   /// would exhibit.
   const VariationModel* variation = nullptr;
   const DieLocation* location = nullptr;
+  /// Precomputed per-instance systematic Lgate [nm]
+  /// (VariationModel::systematic_lgates) — when non-empty (and
+  /// `variation` is set) leakage reads systematic[i] instead of
+  /// re-evaluating the exposure polynomial per instance.  Bit-identical
+  /// to the `location` path, since the map holds exactly those
+  /// evaluations; the wafer loop shares one map per reticle slot.
+  std::span<const double> systematic{};
 };
 
 class PowerEngine {
  public:
+  /// Construction precomputes the per-net total capacitance (wire HPWL +
+  /// sink pins), which depends only on placement — never on corners or
+  /// variation — so one engine amortizes it across every compute().
   PowerEngine(const Design& design, const ActivityDb& activity);
 
   /// Compute the full breakdown with the given supply corner per domain
   /// (index = DomainId; missing entries default to the low corner).
+  /// Pure (no engine state is written): one engine may serve concurrent
+  /// callers.
   PowerBreakdown compute(std::span<const int> domain_corner,
                          const PowerConfig& cfg) const;
 
  private:
   const Design* design_;
   const ActivityDb* activity_;
+  std::vector<double> net_cap_;  ///< per-net switching cap [pF]; 0 for clock
 };
 
 }  // namespace vipvt

@@ -1,0 +1,234 @@
+#include "ssta/canonical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ssta/clark.hpp"
+#include "util/stats.hpp"
+
+namespace vipvt {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Clark-merge one canonical form (m, vi, s[0..G)) into an accumulator
+/// (tm, tvi, ts[0..G)).  Globals are shared (their covariance is the dot
+/// product of the sensitivity rows); the independent parts are treated
+/// as uncorrelated — the canonical-form approximation DESIGN.md §16
+/// documents.  After the merge the accumulator's sensitivities are the
+/// p-blend of the operands and the independent variance absorbs the
+/// total-variance remainder (floored at 0).
+void merge_canon(double& tm, double& tvi, double* ts, double m, double vi,
+                 const double* s, std::size_t num_globals) {
+  if (tm == kNegInf) {
+    tm = m;
+    tvi = vi;
+    if (num_globals != 0) std::copy(s, s + num_globals, ts);
+    return;
+  }
+  double va = tvi;
+  double vb = vi;
+  double cov = 0.0;
+  for (std::size_t g = 0; g < num_globals; ++g) {
+    va += ts[g] * ts[g];
+    vb += s[g] * s[g];
+    cov += ts[g] * s[g];
+  }
+  const ClarkMax cm = clark_max(tm, va, m, vb, cov);
+  tm = cm.mean;
+  double blended2 = 0.0;
+  for (std::size_t g = 0; g < num_globals; ++g) {
+    ts[g] = cm.p * ts[g] + (1.0 - cm.p) * s[g];
+    blended2 += ts[g] * ts[g];
+  }
+  tvi = std::max(cm.var - blended2, 0.0);
+}
+
+}  // namespace
+
+int CanonicalResult::num_violating_stages() const {
+  int n = 0;
+  for (PipeStage s :
+       {PipeStage::Decode, PipeStage::Execute, PipeStage::WriteBack}) {
+    if (stage(s).violates()) ++n;
+  }
+  return n;
+}
+
+double CanonicalResult::fmax_ghz(double percentile) const {
+  const double q =
+      min_period_mean_ns + normal_quantile(percentile) * min_period_sigma_ns;
+  return q > 0.0 ? 1.0 / q : 0.0;
+}
+
+CanonicalSsta::CanonicalSsta(const Design& design, const StaEngine& sta,
+                             const VariationModel& model)
+    : design_(&design), sta_(&sta), model_(&model) {
+  stencils_ = model.field_stencils(design);
+  if (!stencils_.empty()) {
+    // Remap the grid nodes actually touched by some stencil into a dense
+    // active-global index space (first-seen order over instances — a
+    // core much smaller than the correlation length touches a handful
+    // of the (kCorrGrid+1)^2 nodes).  The sqrt norm of at(Stencil) is
+    // folded into the weights here so run() never divides.
+    std::unordered_map<std::uint32_t, std::uint32_t> dense;
+    for (auto& s : stencils_) {
+      for (int k = 0; k < 4; ++k) {
+        auto [it, inserted] =
+            dense.emplace(s.idx[k], static_cast<std::uint32_t>(dense.size()));
+        s.idx[k] = it->second;
+        s.w[k] /= s.norm;
+      }
+      s.norm = 1.0;
+    }
+    num_globals_ = dense.size();
+  }
+}
+
+CanonicalResult CanonicalSsta::run(
+    std::span<const double> systematic_lgate_nm) const {
+  const std::size_t num_inst = design_->num_instances();
+  if (systematic_lgate_nm.size() < num_inst) {
+    throw std::invalid_argument(
+        "CanonicalSsta::run: systematic map shorter than instance count");
+  }
+  const std::size_t num_nodes = sta_->num_nodes();
+  const std::size_t G = num_globals_;
+  const double sigma_corr = model_->sigma_correlated_nm();
+  const double sigma_ind = model_->sigma_independent_nm();
+  const DelayFactorTables& tables = model_->delay_factor_tables();
+
+  // Per-instance linearization of delay_factor around the systematic
+  // operating point: value + slope from the interpolation-table segment.
+  inst_value_.resize(num_inst);
+  inst_slope_.resize(num_inst);
+  for (std::size_t i = 0; i < num_inst; ++i) {
+    const double* row = tables.row_data(
+        tables.row(sta_->inst_corner(static_cast<InstId>(i)),
+                   design_->cell_of(static_cast<InstId>(i)).vth));
+    inst_value_[i] =
+        tables.eval_row_slope(row, systematic_lgate_nm[i], &inst_slope_[i]);
+  }
+
+  mean_.assign(num_nodes, kNegInf);
+  var_ind_.assign(num_nodes, 0.0);
+  sens_.assign(num_nodes * G, 0.0);
+  cand_sens_.assign(G, 0.0);
+
+  // Adds the canonical delay of a cell arc (inst, base) onto the
+  // candidate (m, vi, cand_sens_).
+  const auto add_arc = [&](InstId inst, double base, double& m, double& vi) {
+    const std::size_t i = static_cast<std::size_t>(inst);
+    m += base * inst_value_[i];
+    const double bs = base * inst_slope_[i];
+    const double bi = bs * sigma_ind;
+    vi += bi * bi;
+    if (G != 0) {
+      const CorrelatedField::Stencil& st = stencils_[i];
+      const double bc = bs * sigma_corr;
+      for (int k = 0; k < 4; ++k) {
+        cand_sens_[st.idx[k]] += bc * st.w[k];
+      }
+    }
+  };
+
+  // Launch initialization — mirrors analyze(): flop clk->q launches are
+  // scaled (and carry the flop's variation), primary-input launches are
+  // deterministic.
+  const auto launch_nodes = sta_->launch_nodes();
+  const auto launch_bases = sta_->launch_bases();
+  const auto launch_insts = sta_->launch_insts();
+  for (std::size_t l = 0; l < launch_nodes.size(); ++l) {
+    std::fill(cand_sens_.begin(), cand_sens_.end(), 0.0);
+    double m = 0.0;
+    double vi = 0.0;
+    const InstId inst = launch_insts[l];
+    const double base = static_cast<double>(launch_bases[l]);
+    if (inst == kInvalidInst) {
+      m = base;
+    } else {
+      add_arc(inst, base, m, vi);
+    }
+    const std::uint32_t node = launch_nodes[l];
+    merge_canon(mean_[node], var_ind_[node], G ? &sens_[node * G] : nullptr, m,
+                vi, cand_sens_.data(), G);
+  }
+
+  // One topological relaxation pass, Clark max at every merge.  Edge
+  // order is analyze()'s relaxation order, so the pass is deterministic
+  // for a given engine regardless of caller threading.
+  sta_->for_each_graph_edge(
+      [&](std::uint32_t from, std::uint32_t to, InstId inst, double base) {
+        if (mean_[from] == kNegInf) return;
+        double m = mean_[from];
+        double vi = var_ind_[from];
+        if (G != 0) {
+          std::copy_n(&sens_[from * G], G, cand_sens_.begin());
+        }
+        if (inst == kInvalidInst) {
+          m += base;
+        } else {
+          add_arc(inst, base, m, vi);
+        }
+        merge_canon(mean_[to], var_ind_[to], G ? &sens_[to * G] : nullptr, m,
+                    vi, cand_sens_.data(), G);
+      });
+
+  // Endpoint extraction mirroring extract_scalar_result's semantics in
+  // expectation: per stage, the worst slack is clock - max over the
+  // stage's reachable endpoints of (arrival + setup); min_period is the
+  // same max over ALL reachable endpoints (0 when none is reachable,
+  // matching StaResult::min_period_ns's identity).  Unreachable
+  // endpoints have +inf slack in the scalar path and are skipped here.
+  const double clock = sta_->options().clock_period_ns;
+  const std::size_t num_accs = kNumPipeStages + 1;  // last = min_period
+  std::array<double, kNumPipeStages + 1> acc_mean;
+  std::array<double, kNumPipeStages + 1> acc_var_ind;
+  acc_mean.fill(kNegInf);
+  acc_var_ind.fill(0.0);
+  std::vector<double> acc_sens(num_accs * G, 0.0);
+
+  const auto& endpoints = sta_->endpoints();
+  const auto setups = sta_->endpoint_setups();
+  for (std::size_t k = 0; k < endpoints.size(); ++k) {
+    const std::uint32_t node = endpoints[k].node;
+    if (mean_[node] == kNegInf) continue;
+    const double m = mean_[node] + setups[k];
+    const double vi = var_ind_[node];
+    const double* s = G ? &sens_[node * G] : nullptr;
+    const std::size_t stage = static_cast<std::size_t>(endpoints[k].stage);
+    merge_canon(acc_mean[stage], acc_var_ind[stage],
+                G ? &acc_sens[stage * G] : nullptr, m, vi, s, G);
+    merge_canon(acc_mean[kNumPipeStages], acc_var_ind[kNumPipeStages],
+                G ? &acc_sens[kNumPipeStages * G] : nullptr, m, vi, s, G);
+  }
+
+  const auto total_sigma = [&](std::size_t a) {
+    double v = acc_var_ind[a];
+    for (std::size_t g = 0; g < G; ++g) {
+      v += acc_sens[a * G + g] * acc_sens[a * G + g];
+    }
+    return std::sqrt(v);
+  };
+
+  CanonicalResult res;
+  for (std::size_t s = 0; s < kNumPipeStages; ++s) {
+    StageGauss& sg = res.stages[s];
+    sg.stage = static_cast<PipeStage>(s);
+    if (acc_mean[s] == kNegInf) continue;
+    sg.present = true;
+    sg.mean_slack_ns = clock - acc_mean[s];
+    sg.sigma_ns = total_sigma(s);
+  }
+  if (acc_mean[kNumPipeStages] != kNegInf) {
+    res.min_period_mean_ns = acc_mean[kNumPipeStages];
+    res.min_period_sigma_ns = total_sigma(kNumPipeStages);
+  }
+  return res;
+}
+
+}  // namespace vipvt

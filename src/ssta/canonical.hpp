@@ -1,0 +1,112 @@
+#pragma once
+// First-order canonical SSTA (DESIGN.md §16): every node arrival is a
+// canonical form
+//
+//   arrival = mean + sum_g a_g * global_g + b * independent
+//
+// where the mean carries the deterministic part (base delays scaled by
+// the delay factor at the die's systematic Lgate), the globals are the
+// standard-normal node values of the within-die correlated Lgate field
+// (empty under the paper's i.i.d. model), and b^2 accumulates the
+// variance of the independent random Lgate component.  Per-gate delay is
+// linearized around the systematic operating point via the delay-factor
+// interpolation tables (value + segment slope), arrivals propagate in
+// ONE topological pass over StaEngine's timing graph, and path merges
+// use Clark's max approximation (ssta/clark.hpp) — per-stage mean/sigma
+// at roughly the cost of a single Monte-Carlo sample instead of ~128.
+//
+// What the model drops (and why the triage tier needs a confidence
+// band, DESIGN.md §16): second-order curvature of the alpha-power law
+// across the +/-4.5 sigma Lgate range, the sample clamp at the range
+// edge, and the correlation between reconvergent paths' INDEPENDENT
+// components (globals are tracked exactly through merges; the
+// independent parts of two reconverging paths are treated as
+// uncorrelated, the standard canonical-form approximation).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "timing/sta.hpp"
+#include "variation/model.hpp"
+
+namespace vipvt {
+
+/// Analytic (Gaussian) worst-slack distribution of one pipeline stage:
+/// the canonical-SSTA counterpart of StageSlackDist's fitted normal.
+struct StageGauss {
+  PipeStage stage = PipeStage::Other;
+  bool present = false;  ///< stage has a reachable, constrained endpoint
+  double mean_slack_ns = 0.0;  ///< E[stage worst slack]
+  double sigma_ns = 0.0;       ///< sd[stage worst slack]
+
+  /// Same 3-sigma criterion as StageSlackDist (paper Fig. 3).
+  double three_sigma_slack() const { return mean_slack_ns - 3.0 * sigma_ns; }
+  bool violates() const { return present && three_sigma_slack() < 0.0; }
+};
+
+struct CanonicalResult {
+  std::array<StageGauss, kNumPipeStages> stages;
+  /// Moments of the min achievable clock period (max over constrained
+  /// endpoints of arrival + setup) — the analytic stand-in for the MC
+  /// min_period_samples distribution.
+  double min_period_mean_ns = 0.0;
+  double min_period_sigma_ns = 0.0;
+
+  const StageGauss& stage(PipeStage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  /// Violating stages among DC/EX/WB — the scenario severity, mirroring
+  /// McResult::num_violating_stages().
+  int num_violating_stages() const;
+  /// Analytic speed-bin metric: 1 / (p-quantile of the min-period
+  /// distribution); 0 when the quantile is non-positive or the design
+  /// has no constrained endpoint.
+  double fmax_ghz(double percentile) const;
+};
+
+/// The canonical-form propagation engine.  Construction captures the
+/// graph-independent pieces (correlated-field stencils remapped to a
+/// dense active-global set); run() reads the StaEngine's CURRENT base
+/// delays, so the caller picks the corner assignment exactly as with
+/// analyze() — set_level(0)/compute_base first.
+///
+/// run() is const but uses per-engine scratch (same convention as
+/// StaEngine::analyze): one engine per thread.
+class CanonicalSsta {
+ public:
+  CanonicalSsta(const Design& design, const StaEngine& sta,
+                const VariationModel& model);
+
+  /// One analytic pass for a die whose systematic Lgate map is
+  /// `systematic_lgate_nm` (one entry per instance, from
+  /// VariationModel::systematic_lgates) against the engine's current
+  /// base delays.  Throws std::invalid_argument on a short map.
+  CanonicalResult run(std::span<const double> systematic_lgate_nm) const;
+
+  /// Dense active-global count: correlated-field grid nodes touched by
+  /// at least one instance stencil (0 under the i.i.d. model).
+  std::size_t num_globals() const { return num_globals_; }
+
+ private:
+  const Design* design_;
+  const StaEngine* sta_;
+  const VariationModel* model_;
+
+  /// Per-instance stencils with grid-node ids remapped into the dense
+  /// active-global space (empty when correlated_fraction == 0).
+  std::vector<CorrelatedField::Stencil> stencils_;
+  std::size_t num_globals_ = 0;
+
+  // Scratch reused across run() calls (sized on first use).
+  mutable std::vector<double> mean_;     // per node; unset == -inf
+  mutable std::vector<double> var_ind_;  // independent variance per node
+  mutable std::vector<double> sens_;     // node-major x num_globals_
+  mutable std::vector<double> inst_value_;  // per-instance factor at sys
+  mutable std::vector<double> inst_slope_;  // per-instance dFactor/dLgate
+  mutable std::vector<double> cand_sens_;   // one candidate's sensitivities
+};
+
+}  // namespace vipvt

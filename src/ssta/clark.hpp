@@ -1,0 +1,66 @@
+#pragma once
+// Clark's max approximation (C. E. Clark, "The greatest of a finite set
+// of random variables", 1961): the moment-matching core of the canonical
+// first-order SSTA engine (DESIGN.md §16).
+//
+// For jointly normal A ~ N(mu_a, var_a), B ~ N(mu_b, var_b) with
+// covariance cov, the first two moments of max(A, B) are EXACT:
+//
+//   theta^2 = var_a + var_b - 2 cov
+//   alpha   = (mu_a - mu_b) / theta
+//   p       = Phi(alpha)                       (P[A >= B])
+//   E[max]  = mu_a p + mu_b (1 - p) + theta phi(alpha)
+//   E[max2] = (mu_a^2 + var_a) p + (mu_b^2 + var_b)(1 - p)
+//             + (mu_a + mu_b) theta phi(alpha)
+//
+// The *approximation* is downstream: treating max(A, B) as normal with
+// these moments so the next merge can reuse the same formulas, and
+// blending linear sensitivities with the same Phi weight p (the
+// tightness/selection weight).  theta -> 0 (perfect correlation or two
+// deterministic values) degenerates to picking the larger mean exactly.
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace vipvt {
+
+/// Moments of max(A, B) plus the selection weight p = P[A >= B] used to
+/// blend the canonical sensitivities of the two operands.
+struct ClarkMax {
+  double mean = 0.0;
+  double var = 0.0;
+  double p = 1.0;  ///< weight of operand A (1 on the degenerate A-wins path)
+};
+
+/// theta below this is treated as the perfectly-correlated/deterministic
+/// degenerate case: max(A, B) is whichever operand has the larger mean
+/// (ties keep A), with that operand's variance — exact, not approximate.
+inline constexpr double kClarkMinTheta = 1e-12;
+
+inline ClarkMax clark_max(double mu_a, double var_a, double mu_b, double var_b,
+                          double cov) {
+  ClarkMax out;
+  const double theta2 = var_a + var_b - 2.0 * cov;
+  if (!(theta2 > kClarkMinTheta * kClarkMinTheta)) {
+    const bool a_wins = mu_a >= mu_b;
+    out.mean = a_wins ? mu_a : mu_b;
+    out.var = a_wins ? var_a : var_b;
+    out.p = a_wins ? 1.0 : 0.0;
+    return out;
+  }
+  const double theta = std::sqrt(theta2);
+  const double alpha = (mu_a - mu_b) / theta;
+  const double p = normal_cdf(alpha);
+  const double q = 1.0 - p;
+  const double pdf = normal_pdf(alpha);
+  out.mean = mu_a * p + mu_b * q + theta * pdf;
+  const double e2 = (mu_a * mu_a + var_a) * p + (mu_b * mu_b + var_b) * q +
+                    (mu_a + mu_b) * theta * pdf;
+  out.var = std::max(e2 - out.mean * out.mean, 0.0);
+  out.p = p;
+  return out;
+}
+
+}  // namespace vipvt

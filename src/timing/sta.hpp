@@ -34,16 +34,19 @@ struct StaOptions {
   double primary_output_load_pf = 0.003;
   /// recorner_delta() falls back to a full compute_base() + propagation
   /// when the flipped domain's precomputed fan-out cone spans more than
-  /// this fraction of the timing-graph nodes (DESIGN.md §12).  0 forces
-  /// the full path on every flip, 1 never falls back; both produce
-  /// bit-identical results — the threshold is purely a cost choice.
-  /// The default is deliberately generous: the cone only bounds a cheap
-  /// dirty-mark scan (one epoch compare per cone node), while the real
-  /// work — NLDM re-lookups and arrival updates — is proportional to the
-  /// nodes that actually change, typically a small slice of the cone.
-  /// Only a cone covering essentially the whole graph loses to the
-  /// straight-line full sweep.
-  double recorner_fallback_fraction = 0.9;
+  /// this fraction of the timing-graph nodes — checked up front, BEFORE
+  /// any dirty-mark sweep, so an oversized cone costs exactly one full
+  /// recompute and nothing else (DESIGN.md §12).  0 forces the full path
+  /// on every flip, 1 never falls back; both produce bit-identical
+  /// results — the threshold is purely a cost choice.  The sweep is
+  /// branchy per cone node (epoch compares, adjacency chasing) while the
+  /// full path is a straight-line pass over all edges, so the measured
+  /// break-even sits well below 1: on the paper's 4-way core the delta
+  /// sweep costs ~1.5x the full pass per node touched, i.e. cones past
+  /// ~2/3 of the graph tie or lose (BENCH_wafer.json's
+  /// level_warmup_speedup row tracks exactly this).  0.5 keeps a safety
+  /// margin under that break-even across island shapes.
+  double recorner_fallback_fraction = 0.5;
 };
 
 /// One timing endpoint: a flop D pin or a primary output.
@@ -213,6 +216,32 @@ class StaEngine {
                            std::span<StaResult> results) const;
 
   const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+  /// Setup requirement per endpoint, aligned with endpoints().  Slack at
+  /// endpoint k is clock_period - endpoint_setups()[k] - arrival.
+  std::span<const double> endpoint_setups() const { return endpoint_setup_; }
+
+  /// Read-only structural view of the timing graph for external
+  /// propagation engines (the canonical SSTA of DESIGN.md §16): visits
+  /// every edge in the exact topological order analyze() relaxes them,
+  /// calling fn(from_node, to_node, inst, base_delay_ns).  inst ==
+  /// kInvalidInst marks a wire/port edge, never scaled by variation
+  /// factors.  Base delays reflect the last compute_base() /
+  /// restore_bases() / recorner_delta(), same as analyze().
+  template <class F>
+  void for_each_graph_edge(F&& fn) const {
+    for (const Edge& e : edges_) {
+      fn(e.from, e.to, e.inst, static_cast<double>(e.base_delay));
+    }
+  }
+
+  /// Launch view, three aligned spans: launch graph node, base launch
+  /// delay (flop clk->q, or source delay for a primary input), and the
+  /// launching flop — kInvalidInst for primary inputs, whose launch
+  /// delay is NOT scaled by variation factors (same rule analyze()
+  /// applies).
+  std::span<const std::uint32_t> launch_nodes() const { return launch_nodes_; }
+  std::span<const float> launch_bases() const { return launch_base_; }
+  std::span<const InstId> launch_insts() const { return launch_inst_; }
 
   /// Critical path to the given endpoint under the provided factors
   /// (runs a fresh analysis).

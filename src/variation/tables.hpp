@@ -66,6 +66,23 @@ class DelayFactorTables {
     return eval_row(row_data(row(corner, vth)), lgate_nm);
   }
 
+  /// Evaluate one row at `lgate_nm` and also report the segment slope
+  /// d(factor)/d(Lgate) [1/nm] — the exact derivative of the
+  /// piecewise-linear surrogate on the clamped segment, which is what
+  /// the canonical SSTA linearization (DESIGN.md §16) uses as the
+  /// per-gate delay sensitivity around the systematic operating point.
+  /// The value is bitwise identical to eval_row() on the same inputs.
+  double eval_row_slope(const double* row_coef, double lgate_nm,
+                        double* slope_per_nm) const {
+    double x = (lgate_nm - lo_) * inv_step_;
+    if (x < 0.0) x = 0.0;
+    int j = static_cast<int>(x);
+    if (j >= intervals_) j = intervals_ - 1;
+    const double t = lgate_nm - (lo_ + static_cast<double>(j) * step_);
+    *slope_per_nm = row_coef[2 * j + 1];
+    return row_coef[2 * j] + row_coef[2 * j + 1] * t;
+  }
+
  private:
   double lo_ = 0.0;
   double step_ = 0.0;

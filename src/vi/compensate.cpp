@@ -125,8 +125,17 @@ CompensationOutcome CompensationController::compensate(const VirtualChip& chip,
   // Common case first, scalar: the detected level usually closes timing.
   const int detected = out.detected_severity;
   const int max_k = plan_->num_islands();
-  set_level(detected);
-  {
+  if (detected == 0) {
+    // The engine already sits at level 0 and truth0 IS that level's
+    // analysis: chip_factors/analyze are pure functions of (bases,
+    // corners, chip), so re-running them here would reproduce f0/truth0
+    // bitwise.  Clean dies — the bulk of a healthy wafer — skip a second
+    // exact-factor fill and full propagation this way.
+    out.wns_after = truth0.wns;
+    out.islands_raised = 0;
+    out.timing_met = truth0.wns >= 0.0;
+  } else {
+    set_level(detected);
     const std::vector<double> fk = chip_factors(chip);
     const StaResult truth = sta_->analyze(fk);
     out.wns_after = truth.wns;

@@ -1,12 +1,24 @@
 #include "yield/yield.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "ssta/canonical.hpp"
 #include "vi/flow.hpp"
 
 namespace vipvt {
+
+const char* triage_tier_name(TriageTier t) {
+  switch (t) {
+    case TriageTier::Off: return "off";
+    case TriageTier::Analytical: return "analytical";
+    case TriageTier::McFallback: return "mc-fallback";
+  }
+  return "?";
+}
 
 const char* tuning_policy_name(TuningPolicy p) {
   switch (p) {
@@ -71,6 +83,8 @@ void YieldAggregate::add(const DieOutcome& d, int num_islands,
   mc_samples_drawn += static_cast<std::uint64_t>(std::max(d.mc_samples, 0));
   mc_samples_budget += static_cast<std::uint64_t>(std::max(per_die_budget, 0));
   if (d.mc_stop == McStop::Converged) ++mc_converged_dies;
+  if (d.triage_tier == TriageTier::Analytical) ++triage_analytical;
+  if (d.triage_tier == TriageTier::McFallback) ++triage_mc_fallback;
 }
 
 void YieldAggregate::merge(const YieldAggregate& other) {
@@ -98,6 +112,8 @@ void YieldAggregate::merge(const YieldAggregate& other) {
   mc_samples_drawn += other.mc_samples_drawn;
   mc_samples_budget += other.mc_samples_budget;
   mc_converged_dies += other.mc_converged_dies;
+  triage_analytical += other.triage_analytical;
+  triage_mc_fallback += other.triage_mc_fallback;
   fmax_ghz.merge(other.fmax_ghz);
   wns_all_low_ns.merge(other.wns_all_low_ns);
   wns_final_ns.merge(other.wns_final_ns);
@@ -108,7 +124,7 @@ YieldAnalyzer::YieldAnalyzer(const Design& design, const StaEngine& sta,
                              const IslandPlan& plan, const RazorPlan& sensors,
                              const ActivityDb& activity, double clock_freq_ghz)
     : design_(&design), sta_(&sta), model_(&model), plan_(&plan),
-      sensors_(&sensors), activity_(&activity),
+      sensors_(&sensors), activity_(&activity), power_(design, activity),
       clock_freq_ghz_(clock_freq_ghz) {}
 
 YieldAnalyzer YieldAnalyzer::from_flow(const Flow& flow) {
@@ -127,12 +143,86 @@ DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
   CompensationController ctrl(*design_, engine, *model_, *plan_, *sensors_);
   const std::vector<double> systematic =
       model_->systematic_lgates(*design_, die.location);
-  return analyze_die_with(engine, ctrl, die, cfg, systematic);
+  if (!cfg.triage.enabled) {
+    return analyze_die_with(engine, ctrl, die, cfg, systematic);
+  }
+  // Single-die triage: screen this die's map exactly as the wafer path
+  // screens its reticle slot (level-0 corners), so the outcome is
+  // bit-identical to the die's wafer-run outcome.
+  ctrl.set_level(0);
+  const CanonicalSsta canon(*design_, engine, *model_);
+  const SlotTriage st = triage_slot(canon, systematic, cfg);
+  return analyze_die_with(engine, ctrl, die, cfg, systematic, &st);
+}
+
+SlotTriage YieldAnalyzer::triage_slot(const CanonicalSsta& canon,
+                                      std::span<const double> systematic,
+                                      const YieldConfig& cfg) const {
+  const CanonicalResult r = canon.run(systematic);
+  const auto n = static_cast<std::size_t>(per_die_mc_budget(cfg.mc));
+  const TriageConfig& tc = cfg.triage;
+  SlotTriage out;
+  out.decided = true;
+  out.fmax_ghz = r.fmax_ghz(cfg.speed_percentile);
+  // Band per gating stage: what an n-sample MC estimate of the 3-sigma
+  // slack could plausibly differ from the analytic moments by at the
+  // configured confidence (§14 CI half-widths on mean and 3·stddev),
+  // scaled, plus the absolute canonical-model-error allowance.  The die
+  // is decided only when EVERY present gating stage's |3-sigma slack|
+  // clears its band; the binding (smallest-gap) stage's margin and band
+  // are what DieOutcome reports.
+  double worst_gap = std::numeric_limits<double>::infinity();
+  for (PipeStage s :
+       {PipeStage::Decode, PipeStage::Execute, PipeStage::WriteBack}) {
+    const StageGauss& sg = r.stage(s);
+    if (!sg.present) continue;
+    const double band =
+        tc.band_scale *
+            (mean_confidence_interval(n, 0.0, sg.sigma_ns, tc.confidence)
+                 .half_width() +
+             3.0 * stddev_confidence_interval(n, sg.sigma_ns, tc.confidence)
+                       .half_width()) +
+        tc.model_error_ns;
+    const double margin = std::abs(sg.three_sigma_slack());
+    if (sg.violates()) ++out.severity;
+    if (!(margin > band)) out.decided = false;
+    const double gap = margin - band;
+    if (gap < worst_gap) {
+      worst_gap = gap;
+      out.margin_ns = margin;
+      out.band_ns = band;
+    }
+  }
+  return out;
+}
+
+std::vector<SlotTriage> YieldAnalyzer::triage_screen(
+    const WaferModel& wafer, const YieldConfig& cfg,
+    std::span<const std::vector<double>> slot_maps) const {
+  std::vector<std::vector<double>> local_maps;
+  if (slot_maps.empty()) {
+    local_maps = reticle_slot_maps(wafer);
+    slot_maps = local_maps;
+  }
+  std::vector<SlotTriage> screen(slot_maps.size());
+  if (!cfg.triage.enabled) return screen;
+  // Level-0 (all-low) corners: the exact supply state the MC population
+  // pass runs at, so the analytic moments answer the same question.
+  StaEngine engine(*sta_);
+  engine.compute_base_all_low();
+  const CanonicalSsta canon(*design_, engine, *model_);
+  for (std::size_t s = 0; s < slot_maps.size(); ++s) {
+    // Slots with no die on this wafer keep the default (undecided) entry.
+    if (slot_maps[s].empty()) continue;
+    screen[s] = triage_slot(canon, slot_maps[s], cfg);
+  }
+  return screen;
 }
 
 DieOutcome YieldAnalyzer::analyze_die_with(
     StaEngine& engine, CompensationController& ctrl, const WaferDie& die,
-    const YieldConfig& cfg, std::span<const double> systematic) const {
+    const YieldConfig& cfg, std::span<const double> systematic,
+    const SlotTriage* triage) const {
   DieOutcome out;
   out.die_id = die.id;
 
@@ -143,18 +233,40 @@ DieOutcome YieldAnalyzer::analyze_die_with(
   // 1. Population statistics: MC SSTA at the all-low supply.  The level-0
   // base restore and the systematic map are both cached — across dies
   // (controller snapshots) and across the reticle slot (shared map).
+  // With triage enabled (DESIGN.md §16), a die whose slot screen cleared
+  // the confidence band takes the analytic verdict instead and skips MC
+  // — but still consumes the would-be MC seed so every downstream draw
+  // (fabrication) stays bit-identical to the MC path.
   ctrl.set_level(0);
-  McConfig mcc = cfg.mc;
-  mcc.seed = die_rng.next();
-  const McResult mc = MonteCarloSsta(*design_, engine, *model_)
-                          .run_with_systematic(systematic, mcc);
-  out.mc_severity = mc.num_violating_stages();
-  out.mc_samples = mc.samples;
-  out.mc_stop = mc.stopping_reason;
-  if (!mc.min_period_samples.empty()) {
-    const double period_ns =
-        percentile(mc.min_period_samples, cfg.speed_percentile);
-    if (period_ns > 0.0) out.fmax_ghz = 1.0 / period_ns;
+  if (cfg.triage.enabled && triage != nullptr && triage->decided) {
+    (void)die_rng.next();  // the MC seed the skipped run would have taken
+    out.triage_tier = TriageTier::Analytical;
+    out.triage_margin_ns = triage->margin_ns;
+    out.triage_band_ns = triage->band_ns;
+    out.mc_severity = triage->severity;
+    out.mc_samples = 0;
+    out.mc_stop = McStop::FixedBudget;
+    out.fmax_ghz = triage->fmax_ghz;
+  } else {
+    McConfig mcc = cfg.mc;
+    mcc.seed = die_rng.next();
+    const McResult mc = MonteCarloSsta(*design_, engine, *model_)
+                            .run_with_systematic(systematic, mcc);
+    out.mc_severity = mc.num_violating_stages();
+    out.mc_samples = mc.samples;
+    out.mc_stop = mc.stopping_reason;
+    if (!mc.min_period_samples.empty()) {
+      const double period_ns =
+          percentile(mc.min_period_samples, cfg.speed_percentile);
+      if (period_ns > 0.0) out.fmax_ghz = 1.0 / period_ns;
+    }
+    if (cfg.triage.enabled) {
+      out.triage_tier = TriageTier::McFallback;
+      if (triage != nullptr) {
+        out.triage_margin_ns = triage->margin_ns;
+        out.triage_band_ns = triage->band_ns;
+      }
+    }
   }
 
   // 2-3. This wafer's silicon + post-silicon policy selection.
@@ -193,12 +305,16 @@ DieOutcome YieldAnalyzer::analyze_die_with(
   }
   if (out.policy == TuningPolicy::Discard) corners.clear();  // all-low power
 
-  // 4. Power under the selected supply assignment, fabricated here.
+  // 4. Power under the selected supply assignment.  The shared engine
+  // carries the per-net caps; the slot's systematic map stands in for
+  // per-instance exposure-polynomial evaluation (same bits, see
+  // PowerConfig::systematic).
   PowerConfig pc;
   pc.clock_freq_ghz = clock_freq_ghz_;
   pc.variation = model_;
   pc.location = &die.location;
-  const PowerBreakdown p = PowerEngine(*design_, *activity_).compute(corners, pc);
+  pc.systematic = systematic;
+  const PowerBreakdown p = power_.compute(corners, pc);
   out.total_mw = p.total_mw();
   out.leakage_mw = p.leakage_mw;
   return out;
@@ -228,7 +344,8 @@ std::vector<std::vector<double>> YieldAnalyzer::reticle_slot_maps(
 YieldAggregate YieldAnalyzer::analyze_shard(
     StaEngine& engine, CompensationController& ctrl, const WaferModel& wafer,
     const YieldConfig& cfg, std::size_t die_begin, std::size_t die_end,
-    std::span<const std::vector<double>> slot_maps) const {
+    std::span<const std::vector<double>> slot_maps,
+    std::span<const SlotTriage> screen) const {
   if (die_begin > die_end || die_end > wafer.num_dies()) {
     throw std::invalid_argument("analyze_shard: die range out of bounds");
   }
@@ -237,14 +354,23 @@ YieldAggregate YieldAnalyzer::analyze_shard(
     local_maps = reticle_slot_maps(wafer);
     slot_maps = local_maps;
   }
+  // The screen is a pure function of (wafer geometry, cfg), so a shard
+  // computing it locally folds the exact bits a shared one carries —
+  // shard results never depend on what the caller precomputed.
+  std::vector<SlotTriage> local_screen;
+  if (cfg.triage.enabled && screen.empty()) {
+    local_screen = triage_screen(wafer, cfg, slot_maps);
+    screen = local_screen;
+  }
   YieldAggregate agg;
   agg.island_activation.assign(
       static_cast<std::size_t>(plan_->num_islands()) + 1, 0);
   const int budget = per_die_mc_budget(cfg.mc);
   for (std::size_t i = die_begin; i < die_end; ++i) {
     const WaferDie& die = wafer.dies()[i];
-    agg.add(analyze_die_with(engine, ctrl, die, cfg,
-                             slot_maps[reticle_slot(wafer, die)]),
+    const std::size_t slot = reticle_slot(wafer, die);
+    agg.add(analyze_die_with(engine, ctrl, die, cfg, slot_maps[slot],
+                             screen.empty() ? nullptr : &screen[slot]),
             plan_->num_islands(), budget);
   }
   return agg;
@@ -261,9 +387,13 @@ void YieldAnalyzer::aggregate(YieldReport& report) const {
       report.dies.size() * static_cast<std::size_t>(per_die_budget);
   report.mc_samples_drawn = 0;
   report.mc_converged_dies = 0;
+  report.triage_analytical = 0;
+  report.triage_mc_fallback = 0;
   for (const DieOutcome& d : report.dies) {
     report.mc_samples_drawn += static_cast<std::size_t>(std::max(d.mc_samples, 0));
     if (d.mc_stop == McStop::Converged) ++report.mc_converged_dies;
+    if (d.triage_tier == TriageTier::Analytical) ++report.triage_analytical;
+    if (d.triage_tier == TriageTier::McFallback) ++report.triage_mc_fallback;
   }
   for (const DieOutcome& d : report.dies) {
     const auto p = static_cast<std::size_t>(d.policy);
@@ -313,6 +443,12 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   report.dies.resize(dies.size());
 
   const std::vector<std::vector<double>> slot_maps = reticle_slot_maps(wafer);
+  // One analytic screen per wafer (empty when triage is off), shared
+  // read-only by every worker — side² canonical passes up front buy MC
+  // skips on every decided die.
+  const std::vector<SlotTriage> screen =
+      cfg.triage.enabled ? triage_screen(wafer, cfg, slot_maps)
+                         : std::vector<SlotTriage>{};
   const auto slot_of = [&wafer](const WaferDie& d) {
     return reticle_slot(wafer, d);
   };
@@ -331,8 +467,10 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   };
   const auto make_worker = [this] { return std::make_shared<Worker>(*this); };
   const auto body = [&](std::shared_ptr<Worker>& w, std::size_t i) {
-    report.dies[i] = analyze_die_with(w->engine, w->ctrl, dies[i], cfg,
-                                      slot_maps[slot_of(dies[i])]);
+    const std::size_t slot = slot_of(dies[i]);
+    report.dies[i] =
+        analyze_die_with(w->engine, w->ctrl, dies[i], cfg, slot_maps[slot],
+                         screen.empty() ? nullptr : &screen[slot]);
   };
   if (pool != nullptr) {
     parallel_for(*pool, dies.size(), make_worker, body);

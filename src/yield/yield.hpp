@@ -44,6 +44,7 @@
 
 namespace vipvt {
 
+class CanonicalSsta;
 class Flow;
 
 /// Post-silicon tuning decision for one die, in escalation order.
@@ -58,6 +59,37 @@ const char* tuning_policy_name(TuningPolicy p);
 /// One-character wafer-map glyph: '0'..'9' islands raised, 'H' chip-wide
 /// high, 'X' discard.
 char tuning_policy_glyph(TuningPolicy p, int islands_raised);
+
+/// Which tier decided a die's population statistics (DESIGN.md §16).
+enum class TriageTier : std::uint8_t {
+  Off = 0,     ///< triage disabled: the die ran the full MC path
+  Analytical,  ///< canonical-SSTA margin cleared the band; MC skipped
+  McFallback,  ///< margin inside the band; adaptive MC ran unchanged
+};
+const char* triage_tier_name(TriageTier t);
+
+/// Analytical canonical-SSTA triage (DESIGN.md §16): before paying a
+/// die's MC budget, one canonical-form pass produces per-stage
+/// mean/sigma analytically.  A die whose every gating stage sits more
+/// than a confidence band away from the 3-sigma yield cliff takes the
+/// analytical verdict and skips MC entirely; boundary dies fall back to
+/// the configured MC unchanged.  The band is calibrated from the §14 CI
+/// machinery: what an n-sample MC run could plausibly disagree with the
+/// analytic moments by, at `confidence`, plus an absolute model-error
+/// allowance for the linearization/Clark approximations.
+struct TriageConfig {
+  bool enabled = false;
+  /// Confidence level of the CI half-widths the band is built from (the
+  /// stated error rate of the analytic verdict is 1 - confidence).
+  double confidence = 0.95;
+  /// Multiplier on the CI-derived part of the band (>1 = stricter
+  /// triage: fewer dies decided analytically).
+  double band_scale = 1.0;
+  /// Absolute allowance [ns] for canonical-model bias (table
+  /// linearization, Clark's normal approximation, the dropped sample
+  /// clamp) added on top of the scaled CI band.
+  double model_error_ns = 0.002;
+};
 
 struct YieldConfig {
   /// Per-die Monte-Carlo SSTA; mc.seed is ignored (derived per die from
@@ -76,6 +108,13 @@ struct YieldConfig {
   std::size_t speed_bins = 8;
   bool allow_escalation = true;
   bool allow_chip_wide_fallback = true;
+  /// Analytical triage tier (off by default: bit-identical to the
+  /// pre-triage flow).  With triage on, a die's non-MC outputs (policy,
+  /// wns, power) are STILL bit-identical to a triage-off run — the
+  /// analytic screen replaces only the MC population statistics
+  /// (mc_severity, fmax) on dies it decides, and consumes the same RNG
+  /// stream positions so fabrication stays aligned.
+  TriageConfig triage{};
 };
 
 struct DieOutcome {
@@ -94,6 +133,25 @@ struct DieOutcome {
   double fmax_ghz = 0.0;  ///< 1 / speed-percentile min period (all-low)
   double total_mw = 0.0;  ///< under the selected policy, at this die
   double leakage_mw = 0.0;
+  /// Triage accounting (DESIGN.md §16).  Off when triage is disabled;
+  /// Analytical dies report mc_samples == 0 and carry the analytic
+  /// severity/fmax; McFallback dies ran the full MC path.  margin/band
+  /// are the binding gating stage's analytic |3-sigma slack| and the
+  /// confidence band it was compared against (0/0 when triage is off).
+  TriageTier triage_tier = TriageTier::Off;
+  double triage_margin_ns = 0.0;
+  double triage_band_ns = 0.0;
+};
+
+/// Analytic verdict of one reticle slot (all dies of a slot share the
+/// systematic map, hence the same analytic moments): the per-slot output
+/// of YieldAnalyzer::triage_screen.
+struct SlotTriage {
+  bool decided = false;  ///< every gating stage cleared the band
+  int severity = 0;      ///< analytic violating-stage count (3-sigma)
+  double margin_ns = 0.0;  ///< binding gating-stage |3-sigma slack|
+  double band_ns = 0.0;    ///< that stage's confidence band
+  double fmax_ghz = 0.0;   ///< analytic speed-percentile fmax
 };
 
 /// The worst-case per-die MC sample budget of a config: max_samples when
@@ -128,6 +186,10 @@ struct YieldAggregate {
   std::uint64_t mc_samples_drawn = 0;
   std::uint64_t mc_samples_budget = 0;
   std::uint64_t mc_converged_dies = 0;
+  /// Triage tier tallies (DESIGN.md §16): dies decided analytically vs
+  /// dies that fell back to MC.  Both 0 when triage is off.
+  std::uint64_t triage_analytical = 0;
+  std::uint64_t triage_mc_fallback = 0;
   ExactMoments fmax_ghz;  ///< over shipped dies with fmax > 0
   ExactMoments wns_all_low_ns;  ///< over all dies
   ExactMoments wns_final_ns;    ///< over all dies
@@ -174,6 +236,9 @@ struct YieldReport {
   /// Dies whose adaptive run stopped on McStop::Converged (0 for fixed
   /// runs, where every die reports FixedBudget).
   std::size_t mc_converged_dies = 0;
+  /// Triage tier tallies (DESIGN.md §16); both 0 when triage is off.
+  std::size_t triage_analytical = 0;
+  std::size_t triage_mc_fallback = 0;
   /// Speed-bin histogram over shipped-die fmax: bin i spans
   /// [lo + i*step, lo + (i+1)*step).
   std::vector<std::size_t> speed_bin_count;
@@ -201,6 +266,12 @@ struct YieldReport {
                ? 0.0
                : 1.0 - static_cast<double>(mc_samples_drawn) /
                            static_cast<double>(mc_samples_budget);
+  }
+  /// Fraction of dies the analytic tier decided (0 when triage is off).
+  double triage_fraction() const {
+    return dies.empty() ? 0.0
+                        : static_cast<double>(triage_analytical) /
+                              static_cast<double>(dies.size());
   }
   /// Glyph string indexed by die id, for WaferModel::ascii_map().
   std::string policy_glyphs() const;
@@ -244,9 +315,25 @@ class YieldAnalyzer {
   /// §12); `systematic` is the die's systematic Lgate map —
   /// shared by all dies of the same reticle slot.  Bit-identical to
   /// analyze_die().
+  /// `triage` is the die's reticle-slot screen entry (nullptr = no
+  /// screen, every die runs MC); a decided entry replaces the MC pass
+  /// with the analytic verdict while consuming the same RNG positions,
+  /// so fabrication/compensation/power are bit-identical either way.
   DieOutcome analyze_die_with(StaEngine& engine, CompensationController& ctrl,
                               const WaferDie& die, const YieldConfig& cfg,
-                              std::span<const double> systematic) const;
+                              std::span<const double> systematic,
+                              const SlotTriage* triage = nullptr) const;
+
+  /// The analytic screen of every reticle slot (size side², indexed by
+  /// reticle_slot; all-default entries when cfg.triage.enabled is
+  /// false).  A pure function of (variant, wafer geometry, cfg) —
+  /// independent of thread/shard partitioning — computed once per wafer
+  /// by analyze(), once per (variant, geometry, budget) by the campaign
+  /// layer.  `slot_maps` is reticle_slot_maps(wafer) (recomputed when
+  /// empty).  Cost: side² canonical passes, ~one MC sample each.
+  std::vector<SlotTriage> triage_screen(
+      const WaferModel& wafer, const YieldConfig& cfg,
+      std::span<const std::vector<double>> slot_maps = {}) const;
 
   /// Dense reticle-slot index of a die: die_iy * dies_per_field_side +
   /// die_ix.  All dies of a slot share one systematic Lgate map.
@@ -267,14 +354,22 @@ class YieldAnalyzer {
   /// shard compute maps itself).  Per-die bits are identical to
   /// analyze_die(), so aggregating any partition of [0, num_dies) and
   /// merging reproduces the aggregate of a full analyze() run exactly.
+  /// `screen` is triage_screen(wafer, cfg) (shared read-only; an empty
+  /// span with triage enabled makes the shard compute it itself, so a
+  /// shard's bits never depend on whether the caller shared the screen).
   YieldAggregate analyze_shard(
       StaEngine& engine, CompensationController& ctrl,
       const WaferModel& wafer, const YieldConfig& cfg, std::size_t die_begin,
-      std::size_t die_end,
-      std::span<const std::vector<double>> slot_maps = {}) const;
+      std::size_t die_end, std::span<const std::vector<double>> slot_maps = {},
+      std::span<const SlotTriage> screen = {}) const;
 
  private:
   void aggregate(YieldReport& report) const;
+  /// One slot's analytic verdict: canonical pass over `systematic`, then
+  /// the per-gating-stage margin-vs-band decision (DESIGN.md §16).
+  SlotTriage triage_slot(const CanonicalSsta& canon,
+                         std::span<const double> systematic,
+                         const YieldConfig& cfg) const;
 
   const Design* design_;
   const StaEngine* sta_;
@@ -282,6 +377,9 @@ class YieldAnalyzer {
   const IslandPlan* plan_;
   const RazorPlan* sensors_;
   const ActivityDb* activity_;
+  /// Shared across all workers: PowerEngine::compute is pure, and the
+  /// per-net capacitance it precomputes never varies per die.
+  PowerEngine power_;
   double clock_freq_ghz_;
 };
 
