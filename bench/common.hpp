@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/simd/dispatch.hpp"
 #include "vi/flow.hpp"
 
 namespace vipvt::bench {
@@ -79,6 +80,11 @@ inline void print_header(const char* id, const char* title) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
+  // CPU capability provenance: perf numbers in bench_output.txt are only
+  // comparable across machines when the ISA context is recorded alongside
+  // (DESIGN.md §17).
+  std::printf("# cpu: %s | dispatch: %s\n", simd::cpu_features().c_str(),
+              simd::arch_name(simd::active_arch()));
 }
 
 /// Short git revision of the working tree, or "unknown" outside a repo /
@@ -124,14 +130,19 @@ class BenchJson {
     metrics_.emplace_back(key, value);
   }
 
-  /// Writes {"bench": name, "git_sha": ..., "date": ..., "metrics": {...}}
-  /// to `path`.
+  /// Writes {"bench": name, "git_sha": ..., "date": ..., "cpu_features":
+  /// ..., "dispatch_arch": ..., "metrics": {...}} to `path`.  The two CPU
+  /// keys are capability provenance: a committed perf number is
+  /// attributable to a revision AND to the ISA the dispatcher ran it on.
   void write(const std::string& path) const {
     std::ofstream os(path);
     if (!os) throw std::runtime_error("cannot open " + path + " for writing");
     os << "{\n  \"bench\": \"" << name_ << "\",\n"
        << "  \"git_sha\": \"" << git_short_sha() << "\",\n"
        << "  \"date\": \"" << iso_utc_now() << "\",\n"
+       << "  \"cpu_features\": \"" << simd::cpu_features() << "\",\n"
+       << "  \"dispatch_arch\": \"" << simd::arch_name(simd::active_arch())
+       << "\",\n"
        << "  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       char buf[64];

@@ -4,8 +4,16 @@
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
+
+#include "util/simd/dispatch.hpp"
 
 namespace vipvt {
+
+// Edge aliases simd::RelaxEdge; the graph builder relies on the sentinel
+// matching the kernels' fixed-delay sentinel.
+static_assert(kInvalidInst == simd::kInvalidRelaxInst);
+static_assert(std::is_same_v<InstId, std::uint32_t>);
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
@@ -20,36 +28,6 @@ inline bool bits_differ(double a, double b) {
   return std::bit_cast<std::uint64_t>(a) != std::bit_cast<std::uint64_t>(b);
 }
 }  // namespace
-
-/// Lane arithmetic is exactly the scalar kernel's `from + base * factor`
-/// / max update, so any unrolling or vectorization of the loop nest
-/// leaves results bit-identical (no cross-lane reassociation exists to
-/// exploit).  The unconditional max (instead of the scalar path's
-/// compare-and-store) plus __restrict on the three row pointers is what
-/// lets the compiler emit straight-line vector max code; a -inf source
-/// lane yields a -inf candidate that never wins, matching the scalar
-/// skip.
-template <std::size_t kWidth>
-void StaEngine::relax_edges(std::span<const Edge> edges,
-                            const double* factor_soa, double* arrival_soa,
-                            std::size_t width) {
-  const std::size_t w = kWidth == 0 ? width : kWidth;
-  for (const Edge& e : edges) {
-    const double base = static_cast<double>(e.base_delay);
-    const double* __restrict from = arrival_soa + e.from * w;
-    double* __restrict to = arrival_soa + e.to * w;
-    if (e.inst == kInvalidInst) {
-      for (std::size_t b = 0; b < w; ++b) {
-        to[b] = std::max(to[b], from[b] + base);
-      }
-    } else {
-      const double* __restrict f = factor_soa + e.inst * w;
-      for (std::size_t b = 0; b < w; ++b) {
-        to[b] = std::max(to[b], from[b] + base * f[b]);
-      }
-    }
-  }
-}
 
 StaEngine::StaEngine(const Design& design, const StaOptions& opts)
     : design_(&design), opts_(opts) {
@@ -421,15 +399,12 @@ void StaEngine::analyze_batch_core(const double* factor_soa, std::size_t width,
   }
 
   // One graph traversal for the whole batch.  No pred-edge bookkeeping
-  // in batch mode.  Common widths get a compile-time lane count (fully
-  // unrolled vector code); anything else takes the runtime-width path —
-  // all widths run the identical per-lane arithmetic.
-  switch (width) {
-    case 4: relax_edges<4>(edges_, factor_soa, arrival_soa_.data(), width); break;
-    case 8: relax_edges<8>(edges_, factor_soa, arrival_soa_.data(), width); break;
-    case 16: relax_edges<16>(edges_, factor_soa, arrival_soa_.data(), width); break;
-    default: relax_edges<0>(edges_, factor_soa, arrival_soa_.data(), width); break;
-  }
+  // in batch mode.  The relaxation sweep runs through the runtime-
+  // dispatched SIMD kernel (DESIGN.md §17); every dispatch target is
+  // per-lane bit-identical to the scalar lane, so the arch choice is
+  // invisible in the results.
+  simd::active_kernels().relax_edges(edges_.data(), edges_.size(), factor_soa,
+                                     arrival_soa_.data(), width);
 
   extract_batch_results(width, results);
 }
@@ -464,26 +439,6 @@ void StaEngine::extract_batch_results(std::size_t width,
       }
       auto& sw = res.stage_wns[static_cast<std::size_t>(endpoints_[k].stage)];
       sw = std::min(sw, slack);
-    }
-  }
-}
-
-/// Same unconditional-max shape as relax_edges, with the per-lane delay
-/// (this lane's own base times its factor) read from a precomputed row
-/// instead of being formed in the loop — the product is one IEEE multiply
-/// either way, so per-lane bits match the scalar path exactly.
-template <std::size_t kWidth>
-void StaEngine::relax_edges_delays(std::span<const Edge> edges,
-                                   const double* delay_soa,
-                                   double* arrival_soa, std::size_t width) {
-  const std::size_t w = kWidth == 0 ? width : kWidth;
-  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
-    const Edge& e = edges[ei];
-    const double* __restrict from = arrival_soa + e.from * w;
-    double* __restrict to = arrival_soa + e.to * w;
-    const double* __restrict d = delay_soa + ei * w;
-    for (std::size_t b = 0; b < w; ++b) {
-      to[b] = std::max(to[b], from[b] + d[b]);
     }
   }
 }
@@ -854,12 +809,12 @@ void StaEngine::analyze_batch_bases(
     }
   }
 
-  switch (width) {
-    case 4: relax_edges_delays<4>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
-    case 8: relax_edges_delays<8>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
-    case 16: relax_edges_delays<16>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
-    default: relax_edges_delays<0>(edges_, delay_soa_.data(), arrival_soa_.data(), width); break;
-  }
+  // Dispatched per-edge-delay relaxation (DESIGN.md §17): the per-lane
+  // delay (this lane's own base times its factor) was formed above as one
+  // IEEE multiply, so bits match the scalar path at every dispatch width.
+  simd::active_kernels().relax_edges_delays(
+      edges_.data(), edges_.size(), delay_soa_.data(), arrival_soa_.data(),
+      width);
 
   extract_batch_results(width, results);
 }

@@ -25,6 +25,8 @@
 
 #include "netlist/design.hpp"
 #include "placement/placer.hpp"
+#include "util/aligned.hpp"
+#include "util/simd/kernels.hpp"
 
 namespace vipvt {
 
@@ -279,31 +281,16 @@ class StaEngine {
   std::size_t num_edges() const { return edges_.size(); }
 
  private:
-  struct Edge {
-    std::uint32_t from = 0;
-    std::uint32_t to = 0;
-    InstId inst = kInvalidInst;  ///< valid => cell arc (scaled by factor)
-    float base_delay = 0.0f;
-  };
+  /// One timing edge in relaxation form.  An alias for the SIMD layer's
+  /// POD (same fields: from/to node ids, owning inst or kInvalidInst,
+  /// float base delay) so edges_ feeds the runtime-dispatched relax
+  /// kernels (DESIGN.md §17) without conversion.  The batched relaxation
+  /// hot loops themselves live in util/simd/kernels_body.hpp; every
+  /// dispatch target is per-lane bit-identical to the scalar lane.
+  using Edge = simd::RelaxEdge;
 
   void build_graph();
   double wire_length(NetId net) const;
-
-  /// Batched edge relaxation over SoA lanes (analyze_batch's hot loop).
-  /// kWidth > 0 bakes the lane count into the loop trip count so the
-  /// compiler fully unrolls/vectorizes it; kWidth == 0 is the
-  /// runtime-width fallback.  Identical per-lane arithmetic either way.
-  template <std::size_t kWidth>
-  static void relax_edges(std::span<const Edge> edges,
-                          const double* factor_soa, double* arrival_soa,
-                          std::size_t width);
-
-  /// Relaxation over per-edge per-lane precomputed delays (the
-  /// analyze_batch_bases kernel; delays carry each lane's own base).
-  template <std::size_t kWidth>
-  static void relax_edges_delays(std::span<const Edge> edges,
-                                 const double* delay_soa, double* arrival_soa,
-                                 std::size_t width);
 
   /// Shared tail of analyze_batch / analyze_batch_soa: launch
   /// initialization, relaxation dispatch and endpoint extraction over
@@ -379,9 +366,11 @@ class StaEngine {
   mutable std::vector<double> arrival_;
   mutable std::vector<std::int32_t> pred_edge_;
   // Batch scratch (SoA lanes), grown on demand by analyze_batch().
-  mutable std::vector<double> arrival_soa_;  // node_count_ * batch
-  mutable std::vector<double> factor_soa_;   // num_instances * batch
-  mutable std::vector<double> delay_soa_;    // num_edges * batch (multi-base)
+  // 64-byte aligned so the dispatch kernels' wide loads never split a
+  // cache line (util/aligned.hpp) — alignment changes no bits.
+  mutable AlignedVec<double> arrival_soa_;  // node_count_ * batch
+  mutable AlignedVec<double> factor_soa_;   // num_instances * batch
+  mutable AlignedVec<double> delay_soa_;    // num_edges * batch (multi-base)
 };
 
 }  // namespace vipvt

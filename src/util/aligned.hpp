@@ -1,0 +1,52 @@
+#pragma once
+// Cache-line-aligned allocation for the SoA hot-loop arenas.  The batched
+// propagation and draw kernels issue 32/64-byte vector loads over rows of
+// these arenas (DESIGN.md §17); a 64-byte arena base guarantees a width-8
+// double row never splits a cache line regardless of the dispatch width.
+// Alignment is a pure performance property — values and layout are
+// byte-identical to the default allocator's.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace vipvt {
+
+template <class T, std::size_t Align = 64>
+class AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Align};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlign);
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// 64-byte-aligned vector: drop-in for std::vector<T> in the SoA arenas
+/// (implicitly convertible to std::span<T> like any contiguous range).
+template <class T>
+using AlignedVec = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace vipvt

@@ -134,6 +134,18 @@ class Rng {
   /// which is what keeps prefixes bit-stable under vectorization.
   void normals(std::span<double> out) noexcept;
 
+  /// Like normals(), but the Box-Muller log/sin/cos run through the SIMD
+  /// kernel layer's own vector math (DESIGN.md §17) instead of libm /
+  /// libmvec.  Same contract — exactly two parent next() calls, counter-
+  /// driven prefix-stable output, odd tails drop the second deviate — but
+  /// a DIFFERENT stream than normals(): normals() bits depend on the host
+  /// libm build, while this stream is bit-identical across ISAs, compilers
+  /// and build flags, because every dispatch target instantiates the same
+  /// kernel body with contraction disabled.  Reachable through
+  /// DrawProfile::BatchedSimd; never substituted silently.  Defined in
+  /// simd/dispatch.cpp.
+  void normals_simd(std::span<double> out) noexcept;
+
   /// Derive an independent child generator (for per-sample streams).
   /// The child's 256-bit state is built from a fresh splitmix64 stream
   /// keyed by TWO parent draws, not from a single XOR-perturbed draw:
@@ -155,17 +167,19 @@ class Rng {
     return child;
   }
 
- private:
   /// Stateless uniform bits for counter `i` of the stream keyed by `key`:
   /// the splitmix64 finalizer over key + i*golden — the same spacing
   /// splitmix64 itself uses, evaluated at a random offset instead of
   /// sequentially, which is what makes the generator counter-driven.
+  /// Public because the SIMD normal-fill kernels (util/simd) and their
+  /// tests consume the same counter streams.
   static constexpr std::uint64_t counter_bits(std::uint64_t key,
                                               std::uint64_t i) noexcept {
     std::uint64_t s = key + i * 0x9e3779b97f4a7c15ULL;
     return splitmix64(s);
   }
 
+ private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }

@@ -1,0 +1,64 @@
+#pragma once
+// Runtime ISA dispatch for the SIMD kernel layer (DESIGN.md §17).
+//
+// One binary carries every kernel table its build gates compiled
+// (kernels.hpp); at first use the dispatcher probes the host CPU
+// (__builtin_cpu_supports, which also checks OS XSAVE enablement) and
+// selects the widest table that is both compiled in and supported:
+//
+//   Avx512 (avx512f && avx512dq)  >  Avx2  >  Sse2  >  Scalar
+//
+// Because every table is per-lane bit-identical, the selection is a pure
+// performance choice — results never depend on it.  That invariant is what
+// makes the two override mechanisms safe:
+//
+//   * env VIPVT_SIMD=scalar|sse2|avx2|avx512 pins the startup choice
+//     (silently falling back to autodetect if unavailable), and
+//   * set_arch()/reset_arch() flip the active table programmatically, which
+//     is how tests and bench gates run EVERY compiled-in target against the
+//     scalar reference lane in-process.
+//
+// set_arch affects kernels launched after it returns; it is not meant to be
+// raced against in-flight kernel calls (benches/tests flip it only between
+// runs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/simd/kernels.hpp"
+
+namespace vipvt::simd {
+
+enum class Arch : int { Scalar = 0, Sse2 = 1, Avx2 = 2, Avx512 = 3 };
+
+/// The currently active kernel table (autodetected on first use).
+const Kernels& active_kernels();
+
+/// The arch backing active_kernels().
+Arch active_arch();
+
+/// Table for a specific arch, or nullptr if not compiled in / not
+/// supported by this CPU.  Lets tests compare targets without global state.
+const Kernels* kernels_for(Arch a);
+
+/// True if `a` is compiled in AND runnable on this CPU.
+bool arch_available(Arch a);
+
+/// Every available arch, narrowest (Scalar) first.
+std::vector<Arch> available_archs();
+
+/// Force the active table; returns false (and leaves the state untouched)
+/// if the arch is unavailable.  reset_arch() restores autodetection
+/// (including any VIPVT_SIMD override).
+bool set_arch(Arch a);
+void reset_arch();
+
+/// Lower-case short name: "scalar", "sse2", "avx2", "avx512".
+const char* arch_name(Arch a);
+
+/// Space-separated host CPU feature list (bench provenance), e.g.
+/// "sse2 sse4.2 avx avx2 fma avx512f avx512dq ...".  "non-x86" elsewhere.
+std::string cpu_features();
+
+}  // namespace vipvt::simd

@@ -1,0 +1,50 @@
+// AVX-512 (W=8) instantiation of the kernel bodies.  Compiled with
+// "-mavx512f -mavx512dq -ffp-contract=off"; -mavx512f implies FMA
+// availability to the compiler, which is exactly why contraction must be
+// switched off here — a fused from+base*f would change per-lane bits and
+// break the dispatch contract (DESIGN.md §17).  Only reachable through
+// runtime CPUID dispatch (avx512f && avx512dq).
+
+#include "util/simd/kernels.hpp"
+
+#if defined(VIPVT_SIMD_HAVE_AVX512)
+
+#include "util/simd/kernels_body.hpp"
+#include "util/simd/vec.hpp"
+
+namespace vipvt::simd {
+namespace {
+
+using P = Avx512Policy;
+
+void relax(const RelaxEdge* edges, std::size_t num_edges,
+           const double* factor_soa, double* arrival_soa, std::size_t width) {
+  relax_edges_body<P>(edges, num_edges, factor_soa, arrival_soa, width);
+}
+
+void relax_delays(const RelaxEdge* edges, std::size_t num_edges,
+                  const double* delay_soa, double* arrival_soa,
+                  std::size_t width) {
+  relax_edges_delays_body<P>(edges, num_edges, delay_soa, arrival_soa, width);
+}
+
+void transform(const double* coef, std::int32_t row_stride, double lo,
+               double step, double inv_step, std::int32_t intervals,
+               const std::int32_t* rows, const double* sys, const double* eps,
+               double* out, std::size_t n, std::size_t width) {
+  draw_transform_body<P>(coef, row_stride, lo, step, inv_step, intervals,
+                         rows, sys, eps, out, n, width);
+}
+
+void normals(std::uint64_t key_r, std::uint64_t key_t, double* out,
+             std::size_t n) {
+  normals_fill_body<P>(key_r, key_t, out, n);
+}
+
+}  // namespace
+
+const Kernels kKernelsAvx512{&relax, &relax_delays, &transform, &normals};
+
+}  // namespace vipvt::simd
+
+#endif  // VIPVT_SIMD_HAVE_AVX512

@@ -51,7 +51,7 @@ struct McWorker {
                     std::size_t num_inst, DrawProfile profile)
       : engine(sta), results(static_cast<std::size_t>(width)),
         crit(num_eps, 0), stage_crit(num_eps, 0) {
-    if (profile == DrawProfile::Batched) {
+    if (profile != DrawProfile::Scalar) {
       factor_soa.resize(num_inst * static_cast<std::size_t>(width));
     } else {
       factors.resize(static_cast<std::size_t>(width));
@@ -60,7 +60,7 @@ struct McWorker {
 
   StaEngine engine;
   std::vector<std::vector<double>> factors;  ///< Scalar profile lanes
-  std::vector<double> factor_soa;            ///< Batched profile lanes (SoA)
+  AlignedVec<double> factor_soa;  ///< Batched/BatchedSimd lanes (SoA, 64B)
   VariationModel::DrawScratch scratch;
   std::vector<StaResult> results;
   std::vector<std::uint32_t> crit;        ///< samples with slack < 0
@@ -153,12 +153,15 @@ McResult MonteCarloSsta::run_with_systematic(
     const std::size_t first = bi * static_cast<std::size_t>(width);
     const std::size_t lanes =
         std::min<std::size_t>(static_cast<std::size_t>(width), cap - first);
-    if (cfg.profile == DrawProfile::Batched) {
+    if (cfg.profile != DrawProfile::Scalar) {
       // Draw all lanes in one pass directly into the SoA layout the
-      // propagation kernel consumes; no per-batch transpose.
+      // propagation kernel consumes; no per-batch transpose.  BatchedSimd
+      // only swaps the bulk normal stream (Rng::normals_simd); the rest
+      // of the engine is shared with Batched.
       model_->draw_factors_batch(
           *design_, w.engine, systematic, stencils, cfg.seed, first, lanes,
-          std::span(w.factor_soa).first(num_inst * lanes), w.scratch);
+          std::span(w.factor_soa).first(num_inst * lanes), w.scratch,
+          cfg.profile == DrawProfile::BatchedSimd);
       w.engine.analyze_batch_soa(
           std::span<const double>(w.factor_soa).first(num_inst * lanes),
           lanes, std::span(w.results).first(lanes));

@@ -35,6 +35,17 @@ enum class DrawProfile : int {
   /// bit-identical for any thread count and any batch width, but a
   /// DIFFERENT (statistically equivalent) stream than Scalar.
   Batched = 1,
+  /// The Batched engine with the Box-Muller log/sin/cos routed through
+  /// the SIMD kernel layer's own vector math (Rng::normals_simd,
+  /// DESIGN.md §17) instead of libm/libmvec.  Batched's bits depend on
+  /// the host libm build; this profile's bits are ADDITIONALLY identical
+  /// across ISAs, compilers and build flags, because every dispatch
+  /// target instantiates the same kernel body with FMA contraction
+  /// disabled.  Same determinism contract as Batched (thread- and
+  /// width-invariant); yet another DIFFERENT, statistically equivalent
+  /// stream.  This versioned profile exists precisely so the SIMD math
+  /// is never silently substituted into an existing stream.
+  BatchedSimd = 2,
 };
 
 /// Opt-in adaptive sequential sampling (DESIGN.md §14): instead of a

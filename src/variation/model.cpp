@@ -14,12 +14,17 @@ CorrelatedField::CorrelatedField(double pitch_um, int grid, double sigma_nm,
 }
 
 CorrelatedField CorrelatedField::bulk(double pitch_um, int grid,
-                                      double sigma_nm, Rng& rng) {
+                                      double sigma_nm, Rng& rng,
+                                      bool simd_normals) {
   CorrelatedField f;
   f.pitch_um_ = pitch_um;
   f.grid_ = grid;
   f.values_.resize(static_cast<std::size_t>(grid + 1) * (grid + 1));
-  rng.normals(f.values_);
+  if (simd_normals) {
+    rng.normals_simd(f.values_);
+  } else {
+    rng.normals(f.values_);
+  }
   for (auto& v : f.values_) v *= sigma_nm;
   return f;
 }
@@ -207,7 +212,8 @@ void VariationModel::draw_factors_batch(
     std::span<const double> systematic_lgate_nm,
     std::span<const CorrelatedField::Stencil> stencils, std::uint64_t seed,
     std::uint64_t first_sample, std::size_t width,
-    std::span<double> factor_soa, DrawScratch& scratch) const {
+    std::span<double> factor_soa, DrawScratch& scratch,
+    bool simd_normals) const {
   const std::size_t n = design.num_instances();
   if (systematic_lgate_nm.size() < n) {
     throw std::invalid_argument("draw_factors_batch: short systematic map");
@@ -231,9 +237,13 @@ void VariationModel::draw_factors_batch(
     CorrelatedField field;
     if (correlated) {
       field = CorrelatedField::bulk(cfg_.correlation_length_um, kCorrGrid,
-                                    sigma_correlated_nm(), rng);
+                                    sigma_correlated_nm(), rng, simd_normals);
     }
-    rng.normals({eps, n});
+    if (simd_normals) {
+      rng.normals_simd({eps, n});
+    } else {
+      rng.normals({eps, n});
+    }
     if (correlated) {
       for (std::size_t i = 0; i < n; ++i) {
         eps[i] =
@@ -246,17 +256,17 @@ void VariationModel::draw_factors_batch(
     }
   }
   // Transform pass, instance-major to match the SoA layout the batched
-  // propagation kernel consumes: one table-row fetch per instance, then a
-  // short strided gather over lanes.
+  // propagation kernel consumes: one table-row index per instance, then
+  // the dispatched row-interpolation kernel gathers lanes with stride n.
+  // Bit-identical to a per-lane eval_row loop at every dispatch width
+  // (DESIGN.md §17).
+  scratch.rows.resize(n);
   for (InstId i = 0; i < n; ++i) {
-    const double* rc = tables_.row_data(
+    scratch.rows[i] = static_cast<std::int32_t>(
         DelayFactorTables::row(sta.inst_corner(i), design.cell_of(i).vth));
-    const double sys = systematic_lgate_nm[i];
-    double* out = &factor_soa[static_cast<std::size_t>(i) * width];
-    for (std::size_t lane = 0; lane < width; ++lane) {
-      out[lane] = tables_.eval_row(rc, sys + scratch.eps[lane * n + i]);
-    }
   }
+  tables_.eval_rows_batch(scratch.rows.data(), systematic_lgate_nm.data(),
+                          scratch.eps.data(), n, width, factor_soa.data());
 }
 
 }  // namespace vipvt

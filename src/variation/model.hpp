@@ -17,6 +17,7 @@
 #include "liberty/physics.hpp"
 #include "netlist/design.hpp"
 #include "timing/sta.hpp"
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 #include "variation/field.hpp"
 #include "variation/tables.hpp"
@@ -46,8 +47,11 @@ class CorrelatedField {
 
   /// Counter-driven bulk draw of the node grid (Rng::normals instead of
   /// per-node polar normals) — the batched draw profile's field source.
+  /// With simd_normals the grid is filled by Rng::normals_simd instead:
+  /// the BatchedSimd profile's arch-invariant stream (a different stream
+  /// than normals(); see DrawProfile in mc_ssta.hpp).
   static CorrelatedField bulk(double pitch_um, int grid, double sigma_nm,
-                              Rng& rng);
+                              Rng& rng, bool simd_normals = false);
 
   bool active() const { return !values_.empty(); }
 
@@ -180,9 +184,13 @@ class VariationModel {
       std::vector<double>& factors) const;
 
   /// Reusable buffers of draw_factors_batch, kept across batches by the
-  /// caller (one per MC worker) to avoid per-batch allocation.
+  /// caller (one per MC worker) to avoid per-batch allocation.  eps is
+  /// 64-byte aligned (util/aligned.hpp) for the transform kernel's wide
+  /// gathers; rows caches the per-instance table-row index feeding
+  /// DelayFactorTables::eval_rows_batch.
   struct DrawScratch {
-    std::vector<double> eps;  // width x instances, lane-major
+    AlignedVec<double> eps;          // width x instances, lane-major
+    std::vector<std::int32_t> rows;  // instances (table row per instance)
   };
 
   /// Batched draw profile: fill `factor_soa` — instance-major,
@@ -196,12 +204,21 @@ class VariationModel {
   /// determinism contract.  NOTE: this is a different (statistically
   /// equivalent) stream than the scalar path's polar normals; the two
   /// profiles do not produce bit-identical samples by design.
+  ///
+  /// simd_normals selects Rng::normals_simd for the bulk normal fills —
+  /// the BatchedSimd profile's arch-invariant stream (again different,
+  /// again statistically equivalent; DESIGN.md §17).  The Lgate-to-factor
+  /// transform always runs through the dispatched table kernel, which is
+  /// bit-identical to eval_row at every dispatch width, so the flag only
+  /// ever changes WHICH normal stream feeds the draw — never how any
+  /// stream is transformed.
   void draw_factors_batch(const Design& design, const StaEngine& sta,
                           std::span<const double> systematic_lgate_nm,
                           std::span<const CorrelatedField::Stencil> stencils,
                           std::uint64_t seed, std::uint64_t first_sample,
                           std::size_t width, std::span<double> factor_soa,
-                          DrawScratch& scratch) const;
+                          DrawScratch& scratch,
+                          bool simd_normals = false) const;
 
  private:
   CharParams cp_;
