@@ -1,0 +1,368 @@
+// Compensation-policy portfolio Pareto (DESIGN.md §18): one wafer run
+// per policy mix — VI escalation only, statistical sizing + VI,
+// criticality buffering + VI, and all three — reporting the
+// power/area/yield point each mix buys.  Transforming mixes compile the
+// netlist once (compile_policy_mix) and fabricate every die on the
+// transformed design; the §12 incremental-STA path (per-level
+// recorner_delta snapshots) serves the compiled netlists exactly as it
+// serves the baseline, and is hard-gated here on the transformed design.
+//
+// Hard determinism gates (any failure exits 1):
+//   1. Per mix, the serialized report (CSV + JSON) is byte-identical for
+//      any thread count.
+//   2. Per mix, reducing the wafer in shards of ANY size and merging
+//      reproduces the single-shard aggregate's serialized NDJSON record
+//      byte-for-byte (the campaign-layer contract on compiled netlists).
+//   3. Portfolio-off bit-identity: the vi-only mix's per-die bits and
+//      CSV equal a pre-portfolio YieldAnalyzer::from_flow run exactly —
+//      wiring the portfolio in changes NOTHING for untouched mixes.
+//   4. Zero-strength bit-identity: a mix with sizing enabled but a
+//      threshold no gate reaches compiles a transformed-but-identical
+//      netlist whose per-die bits still equal the baseline (the
+//      rebuilt-StaEngine path is exact, DESIGN.md §18).
+//   5. §12 on the transformed netlist: per-escalation-level snapshots
+//      delta-built with recorner_delta are byte-identical to full
+//      compute_base snapshots.
+//
+// Emits BENCH_policy.json (one metric block per mix) for trajectory
+// tracking across PRs.
+//
+// Knobs: --samples N (per-die MC budget, default 12), --dies N (use the
+// smallest wafer with at least N dies instead of the 300 mm default),
+// --out PATH.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/checkpoint.hpp"
+#include "io/yield_writers.hpp"
+#include "timing/sta.hpp"
+#include "util/table.hpp"
+#include "vi/islands.hpp"
+#include "vi/policy.hpp"
+#include "yield/wafer.hpp"
+#include "yield/yield.hpp"
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vipvt;
+  using clock = std::chrono::steady_clock;
+  bench::print_header("Policy portfolio",
+                      "power/area/yield Pareto per compensation-policy mix");
+
+  // Same tiny core as bench/wafer_yield: the workload SHAPE (per-die MC
+  // + compensation on a shared read-only design) is the full VEX's.
+  FlowConfig cfg;
+  cfg.vex = VexConfig::tiny();
+  cfg.floorplan.target_utilization = 0.55;
+  cfg.scenario.sweep_points = 6;
+  cfg.scenario.mc.samples = 100;
+  cfg.islands.mc_samples = 80;
+  cfg.sim_cycles = 150;
+  Flow flow(cfg);
+  flow.simulate_activity();
+  std::printf("# design: %zu instances, clock %.3f ns\n",
+              flow.design().num_instances(), flow.nominal_clock_ns());
+
+  WaferConfig wc;  // 300 mm, 28 mm field, 14 mm die
+  const int want_dies = bench::arg_int(argc, argv, "--dies", 0);
+  if (want_dies > 0) {
+    for (double diameter = 50.0; diameter <= 450.0; diameter += 10.0) {
+      wc.wafer_diameter_mm = diameter;
+      if (WaferModel(wc).num_dies() >= static_cast<std::size_t>(want_dies)) {
+        break;
+      }
+    }
+  }
+  const WaferModel wafer{wc};
+  YieldConfig yc;
+  yc.mc.samples = bench::arg_int(argc, argv, "--samples", 12);
+  yc.mc.profile = DrawProfile::Batched;
+  std::printf("# wafer: %zu dies (%.0f mm), %d MC samples/die\n\n",
+              wafer.num_dies(), wc.wafer_diameter_mm, yc.mc.samples);
+
+  // The acceptance-criteria portfolio: >= 4 mixes spanning the three
+  // levers.  Knob choices: a low criticality threshold so the tiny
+  // core's statistically-critical gates actually select (crit is the
+  // per-instance failing-path probability at the worst-corner die), a
+  // 64-gate / 16-net area guard.
+  const auto make_mix = [](const char* name, bool sizing, bool buffering) {
+    PolicyMix m;
+    m.name = name;
+    m.sizing.enabled = sizing;
+    m.sizing.min_crit_prob = 0.02;
+    m.sizing.max_upsized = 64;
+    m.buffering.enabled = buffering;
+    m.buffering.min_crit_prob = 0.02;
+    m.buffering.max_nets = 16;
+    return m;
+  };
+  struct MixRun {
+    PolicyMix mix;
+    const char* key;  ///< BENCH json key prefix
+    CompiledPolicy compiled;
+    std::unique_ptr<YieldAnalyzer> analyzer;
+    YieldReport serial_report;
+    double serial_s = 0.0;
+  };
+  std::vector<MixRun> mixes;
+  mixes.push_back({make_mix("vi-only", false, false), "vi_only", {}, {}, {}});
+  mixes.push_back(
+      {make_mix("sizing+vi", true, false), "sizing_vi", {}, {}, {}});
+  mixes.push_back(
+      {make_mix("buffering+vi", false, true), "buffering_vi", {}, {}, {}});
+  mixes.push_back({make_mix("sizing+buffering+vi", true, true),
+                   "sizing_buffering_vi", {}, {}, {}});
+
+  const YieldAnalyzer baseline = YieldAnalyzer::from_flow(flow);
+  for (MixRun& m : mixes) {
+    m.compiled = compile_policy_mix(m.mix, flow.design(), flow.sta(),
+                                    flow.variation(), flow.activity());
+    m.analyzer = std::make_unique<YieldAnalyzer>(
+        m.compiled.design_or(flow.design()), m.compiled.sta_or(flow.sta()),
+        flow.variation(), flow.island_plan(), flow.razor_plan(),
+        m.compiled.activity_or(flow.activity()),
+        1.0 / flow.post_shifter_clock_ns());
+    m.analyzer->set_portfolio(m.compiled.stats);
+    std::printf("# mix %-20s: %llu gates upsized, %llu buffers on %llu "
+                "nets, area %+.1f um^2\n",
+                m.mix.name.c_str(),
+                static_cast<unsigned long long>(m.compiled.stats.gates_upsized),
+                static_cast<unsigned long long>(
+                    m.compiled.stats.buffers_inserted),
+                static_cast<unsigned long long>(m.compiled.stats.nets_buffered),
+                m.compiled.stats.area_delta_um2);
+  }
+  std::printf("\n");
+
+  const auto fingerprint = [&](const YieldReport& r) {
+    std::ostringstream os;
+    write_yield_csv(os, wafer, r);
+    write_yield_json(os, r);
+    return os.str();
+  };
+  // Every per-die field, as bit patterns: the identity the zero-strength
+  // and portfolio-off gates compare (their CSV/JSON provenance stamps
+  // may legitimately differ; the silicon must not).
+  const auto die_bits = [](const YieldReport& r) {
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const DieOutcome& d : r.dies) {
+      os << d.die_id << ' ' << d.mc_severity << ' ' << d.mc_samples << ' '
+         << static_cast<int>(d.mc_stop) << ' ' << d.detected_severity << ' '
+         << d.islands_raised << ' ' << static_cast<int>(d.policy) << ' '
+         << d.timing_met << ' ' << d.escalated << ' ' << d.missed_violation
+         << ' ' << d.wns_all_low_ns << ' ' << d.wns_final_ns << ' '
+         << d.fmax_ghz << ' ' << d.total_mw << ' ' << d.leakage_mw << '\n';
+    }
+    return os.str();
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  bench::BenchJson out("policy_portfolio");
+  out.set("dies", static_cast<double>(wafer.num_dies()));
+  out.set("mc_samples_per_die", yc.mc.samples);
+  out.set("hardware_threads", hw);
+
+  // ---- gate 1: per-mix byte determinism across thread counts -------------
+  for (MixRun& m : mixes) {
+    const auto t0 = clock::now();
+    m.serial_report = m.analyzer->analyze(wafer, yc, nullptr);
+    const std::chrono::duration<double> dt = clock::now() - t0;
+    m.serial_s = dt.count();
+    const std::string reference = fingerprint(m.serial_report);
+    for (unsigned threads : {2u, 4u}) {
+      ThreadPool pool(threads);
+      const YieldReport r = m.analyzer->analyze(wafer, yc, &pool);
+      if (fingerprint(r) != reference) {
+        std::printf("DETERMINISM VIOLATION: mix %s differs at %u threads\n",
+                    m.mix.name.c_str(), threads);
+        return 1;
+      }
+    }
+  }
+
+  // ---- gate 2: shard-partition invariance on compiled netlists -----------
+  // The wafer reduced in one shard vs shards of 7 and 19 dies must
+  // serialize to byte-identical NDJSON records (identity fields pinned,
+  // so the bytes compare the reducer state alone).
+  for (MixRun& m : mixes) {
+    const std::size_t n = wafer.num_dies();
+    const auto shard_record = [&](std::size_t shard_dies) {
+      StaEngine engine(m.compiled.sta_or(flow.sta()));
+      CompensationController ctrl(m.compiled.design_or(flow.design()), engine,
+                                  flow.variation(), flow.island_plan(),
+                                  flow.razor_plan());
+      YieldAggregate agg;
+      for (std::size_t b = 0; b < n; b += shard_dies) {
+        const std::size_t e = std::min(n, b + shard_dies);
+        YieldAggregate part =
+            m.analyzer->analyze_shard(engine, ctrl, wafer, yc, b, e);
+        if (b == 0) {
+          agg = std::move(part);
+        } else {
+          agg.merge(part);
+        }
+      }
+      ShardRecord rec;
+      rec.job = 0;
+      rec.cell = 0;
+      rec.wafer = 0;
+      rec.die_begin = 0;
+      rec.die_end = n;
+      rec.agg = std::move(agg);
+      return serialize_shard_record(rec);
+    };
+    const std::string whole = shard_record(n);
+    for (const std::size_t shard : {std::size_t{7}, std::size_t{19}}) {
+      if (shard_record(shard) != whole) {
+        std::printf("DETERMINISM VIOLATION: mix %s shard size %zu diverges "
+                    "from the single-shard reduction\n",
+                    m.mix.name.c_str(), shard);
+        return 1;
+      }
+    }
+  }
+  std::printf("determinism: 4 mixes byte-identical across {1,2,4} threads "
+              "and shard sizes {7,19,%zu}\n",
+              wafer.num_dies());
+
+  // ---- gate 3: portfolio-off bit-identity --------------------------------
+  // A pre-portfolio analyzer (from_flow, no portfolio stamp beyond the
+  // vi-only default) must reproduce the vi-only mix bit-for-bit: CSV
+  // bytes AND every per-die field.
+  const YieldReport pre_portfolio = baseline.analyze(wafer, yc, nullptr);
+  {
+    std::ostringstream a, b;
+    write_yield_csv(a, wafer, pre_portfolio);
+    write_yield_csv(b, wafer, mixes[0].serial_report);
+    if (a.str() != b.str() ||
+        die_bits(pre_portfolio) != die_bits(mixes[0].serial_report)) {
+      std::printf("PORTFOLIO VIOLATION: vi-only mix differs from the "
+                  "pre-portfolio path\n");
+      return 1;
+    }
+  }
+
+  // ---- gate 4: zero-strength transform bit-identity ----------------------
+  // Sizing enabled with an unreachable threshold: compile_policy_mix
+  // takes the full transform path (criticality MC, netlist copy, fresh
+  // StaEngine) yet selects nothing — per-die bits must equal the
+  // baseline exactly.
+  {
+    PolicyMix zero = make_mix("vi-only", true, false);
+    zero.sizing.min_crit_prob = 2.0;  // probabilities are <= 1
+    const CompiledPolicy cp = compile_policy_mix(
+        zero, flow.design(), flow.sta(), flow.variation(), flow.activity());
+    if (!cp.transformed() || cp.stats.gates_upsized != 0) {
+      std::printf("PORTFOLIO VIOLATION: zero-strength mix was expected to "
+                  "transform nothing\n");
+      return 1;
+    }
+    YieldAnalyzer an(*cp.design, *cp.sta, flow.variation(),
+                     flow.island_plan(), flow.razor_plan(), *cp.activity,
+                     1.0 / flow.post_shifter_clock_ns());
+    const YieldReport r = an.analyze(wafer, yc, nullptr);
+    if (die_bits(r) != die_bits(pre_portfolio)) {
+      std::printf("PORTFOLIO VIOLATION: zero-strength sizing policy changed "
+                  "per-die bits vs the pre-portfolio path\n");
+      return 1;
+    }
+    std::printf("zero-strength + portfolio-off bit-identity: ok\n");
+  }
+
+  // ---- gate 5: §12 level snapshots on the transformed netlist ------------
+  // The sizing+buffering netlist through the same ladder the controller
+  // climbs: every level's delta-built snapshot must be byte-identical to
+  // a full compute_base of that level's corner assignment.
+  const IslandPlan& plan = flow.island_plan();
+  const MixRun& all3 = mixes.back();
+  if (const int levels = plan.num_islands();
+      levels > 0 && all3.compiled.transformed()) {
+    StaEngine full_eng(*all3.compiled.sta);
+    StaEngine delta_eng(*all3.compiled.sta);
+    const auto floats_same = [](const std::vector<float>& a,
+                                const std::vector<float>& b) {
+      return a.size() == b.size() &&
+             std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+    };
+    const auto snap_same = [&](const StaEngine::BaseSnapshot& got,
+                               const StaEngine::BaseSnapshot& want) {
+      return floats_same(got.edge_base, want.edge_base) &&
+             floats_same(got.launch_base, want.launch_base) &&
+             floats_same(got.slew, want.slew) &&
+             got.inst_corner == want.inst_corner;
+    };
+    delta_eng.compute_base(plan.corners_for_severity(0));
+    delta_eng.analyze({});
+    bool identical = true;
+    for (int k = 1; k <= levels; ++k) {
+      delta_eng.recorner_delta(static_cast<DomainId>(k), kVddHigh);
+      full_eng.compute_base(plan.corners_for_severity(k));
+      identical = identical &&
+                  snap_same(delta_eng.snapshot_bases(),
+                            full_eng.snapshot_bases());
+    }
+    if (!identical) {
+      std::printf("DETERMINISM VIOLATION: recorner_delta level snapshots "
+                  "diverged from full compute_base on the transformed "
+                  "netlist\n");
+      return 1;
+    }
+    std::printf("transformed-netlist level snapshots (x%d): byte-identical "
+                "to full compute_base\n\n",
+                levels);
+  }
+
+  // ---- the Pareto table ---------------------------------------------------
+  Table pt({"mix", "yield %", "ship power [mW]", "area [um^2]", "d-area",
+            "upsized", "buffers", "dies/s"});
+  for (const MixRun& m : mixes) {
+    const YieldReport& r = m.serial_report;
+    double power = 0.0;
+    std::size_t shipped = 0;
+    for (const DieOutcome& d : r.dies) {
+      if (d.policy == TuningPolicy::Discard) continue;
+      power += d.total_mw;
+      ++shipped;
+    }
+    const double ship_power = shipped == 0 ? 0.0
+                                           : power / static_cast<double>(shipped);
+    const double dies_per_s =
+        static_cast<double>(wafer.num_dies()) / m.serial_s;
+    pt.add_row({m.mix.name, Table::num(r.parametric_yield() * 100.0, 1),
+                Table::num(ship_power, 3),
+                Table::num(m.compiled.stats.area_um2, 1),
+                Table::num(m.compiled.stats.area_delta_um2, 1),
+                std::to_string(m.compiled.stats.gates_upsized),
+                std::to_string(m.compiled.stats.buffers_inserted),
+                Table::num(dies_per_s, 1)});
+    char key[96];
+    std::snprintf(key, sizeof key, "%s_yield", m.key);
+    out.set(key, r.parametric_yield());
+    std::snprintf(key, sizeof key, "%s_ship_power_mw", m.key);
+    out.set(key, ship_power);
+    std::snprintf(key, sizeof key, "%s_area_um2", m.key);
+    out.set(key, m.compiled.stats.area_um2);
+    std::snprintf(key, sizeof key, "%s_area_delta_um2", m.key);
+    out.set(key, m.compiled.stats.area_delta_um2);
+    std::snprintf(key, sizeof key, "%s_gates_upsized", m.key);
+    out.set(key, static_cast<double>(m.compiled.stats.gates_upsized));
+    std::snprintf(key, sizeof key, "%s_buffers", m.key);
+    out.set(key, static_cast<double>(m.compiled.stats.buffers_inserted));
+    std::snprintf(key, sizeof key, "%s_dies_per_sec", m.key);
+    out.set(key, dies_per_s);
+  }
+  std::printf("%s\n", pt.render().c_str());
+
+  out.write(bench::out_path(argc, argv, "BENCH_policy.json"));
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "io/ndjson.hpp"
 #include "variation/model.hpp"
 #include "vi/flow.hpp"
+#include "vi/policy.hpp"
 
 namespace vipvt {
 
@@ -180,19 +181,36 @@ struct CampaignRunner::Plan {
   std::vector<std::string> variant_names;
   std::vector<CampaignCell> cells;
   std::vector<WaferModel> wafers;  ///< one per wafer_grids entry
-  /// One (variant-axis, sigma) slot: the sigma-scaled model copy plus the
-  /// analyzer bound to it.  Systematic maps are sigma-independent, so
-  /// they key on (variant-axis, wafer_grid) only.
-  struct ModelSlot {
-    std::unique_ptr<VariationModel> model;
-    std::unique_ptr<YieldAnalyzer> analyzer;
+  /// One compiled (variant-axis, policy) netlist (DESIGN.md §18):
+  /// pure-VI mixes alias the variant's baseline design/sta/activity
+  /// (CompiledPolicy holds null pointers), transforming mixes own a
+  /// rewritten copy.  Compiled ONCE per pair — the sigma and MC-budget
+  /// axes share it read-only, since criticality is measured on the
+  /// characterized process.
+  struct NetlistSlot {
+    CompiledPolicy compiled;
+    const Design* design = nullptr;
+    const StaEngine* sta = nullptr;
+    const ActivityDb* activity = nullptr;
   };
-  std::vector<ModelSlot> slots;  ///< variant-axis-major x sigma
-  /// maps[v][g] = reticle_slot_maps of (variant v, wafer grid g).
+  std::vector<NetlistSlot> netlists;  ///< variant-axis-major x policy
+  /// Sigma-scaled model copies, variant-axis-major x sigma.
+  std::vector<std::unique_ptr<VariationModel>> models;
+  /// One analyzer per (variant, policy, sigma) — the netlist a cell's
+  /// dies fabricate on depends on its policy now, not just its variant.
+  std::vector<std::unique_ptr<YieldAnalyzer>> analyzers;
+  /// maps[v][g] = reticle_slot_maps of (baseline variant v, wafer grid
+  /// g); left empty for a variant when every policy of the sweep
+  /// transforms (nothing reads it then).  Systematic maps are
+  /// sigma-independent, so they key on (netlist, wafer_grid) only.
   std::vector<std::vector<std::vector<std::vector<double>>>> maps;
+  /// policy_maps[v*npol+p][g]: slot maps of a TRANSFORMED netlist (its
+  /// instance list differs from the baseline's); empty for pure-VI
+  /// mixes, which share maps[v][g].
+  std::vector<std::vector<std::vector<std::vector<double>>>> policy_maps;
   /// screens[cell] = the cell's analytic triage screen (DESIGN.md §16),
   /// empty when triage is off.  Computed once in build_plan — a pure
-  /// function of (variant, sigma, geometry, MC budget), never of
+  /// function of (variant, policy, sigma, geometry, MC budget), never of
   /// sharding — and shared read-only by every shard of the cell.
   std::vector<std::vector<SlotTriage>> screens;
   struct Job {
@@ -202,6 +220,21 @@ struct CampaignRunner::Plan {
     std::uint32_t die_end = 0;
   };
   std::vector<Job> jobs;  ///< canonical job order (cell, wafer, shard)
+  std::size_t npol = 1;
+  std::size_t nsig = 1;
+
+  std::size_t netlist_index(const CampaignCell& c) const {
+    return c.variant * npol + c.policy;
+  }
+  std::size_t analyzer_index(const CampaignCell& c) const {
+    return netlist_index(c) * nsig + c.sigma;
+  }
+  const std::vector<std::vector<double>>& maps_for(
+      const CampaignCell& c) const {
+    const std::size_t ns = netlist_index(c);
+    return policy_maps[ns].empty() ? maps[c.variant][c.wafer_grid]
+                                   : policy_maps[ns][c.wafer_grid];
+  }
 };
 
 void CampaignRunner::build_plan(const CampaignSpec& spec, Plan& plan) const {
@@ -226,48 +259,98 @@ void CampaignRunner::build_plan(const CampaignSpec& spec, Plan& plan) const {
   plan.wafers.reserve(spec.wafer_grids.size());
   for (const WaferConfig& wc : spec.wafer_grids) plan.wafers.emplace_back(wc);
 
+  const std::size_t nsig = spec.sigma_scales.size();
+  const std::size_t npol = spec.policies.size();
+  plan.nsig = nsig;
+  plan.npol = npol;
+
+  // Compiled (variant, policy) netlists (DESIGN.md §18): pure-VI mixes
+  // alias the baseline references; transforming mixes own a rewritten
+  // copy selected by criticality under the variant's characterized
+  // model.
+  plan.netlists.resize(plan.variant_axis.size() * npol);
+  for (std::size_t v = 0; v < plan.variant_axis.size(); ++v) {
+    const Variant& var = variants_[plan.variant_axis[v]];
+    for (std::size_t p = 0; p < npol; ++p) {
+      Plan::NetlistSlot& ns = plan.netlists[v * npol + p];
+      ns.compiled = compile_policy_mix(spec.policies[p], *var.design,
+                                       *var.sta, *var.model, *var.activity);
+      ns.design = &ns.compiled.design_or(*var.design);
+      ns.sta = &ns.compiled.sta_or(*var.sta);
+      ns.activity = &ns.compiled.activity_or(*var.activity);
+    }
+  }
+
   // Sigma-scaled model copies: the scaled model reuses the variant's
   // characterization and exposure field, with only the random budget
   // rescaled.  Scale 1.0 still builds a copy — identical config, so
   // identical bits — which keeps every cell on the same code path.
-  const std::size_t nsig = spec.sigma_scales.size();
-  plan.slots.resize(plan.variant_axis.size() * nsig);
+  plan.models.resize(plan.variant_axis.size() * nsig);
   for (std::size_t v = 0; v < plan.variant_axis.size(); ++v) {
     const Variant& var = variants_[plan.variant_axis[v]];
     for (std::size_t s = 0; s < nsig; ++s) {
       VariationConfig vc = var.model->config();
       vc.three_sigma_random_frac *= spec.sigma_scales[s];
-      Plan::ModelSlot& slot = plan.slots[v * nsig + s];
-      slot.model = std::make_unique<VariationModel>(var.model->char_params(),
-                                                    var.model->field(), vc);
-      slot.analyzer = std::make_unique<YieldAnalyzer>(
-          *var.design, *var.sta, *slot.model, *var.plan, *var.sensors,
-          *var.activity, var.clock_freq_ghz);
+      plan.models[v * nsig + s] = std::make_unique<VariationModel>(
+          var.model->char_params(), var.model->field(), vc);
     }
   }
 
-  // Systematic reticle-slot maps: computed once per (variant, geometry)
-  // and shared read-only by every shard of the sweep — the sigma axis
-  // only touches the random component, never these maps.
-  plan.maps.resize(plan.variant_axis.size());
+  // One analyzer per (variant, policy, sigma), bound to the policy's
+  // compiled netlist and the sigma-scaled model; island/sensor plans are
+  // the baseline variant's (valid on the transformed netlist by the
+  // zero-displacement ECO contract).
+  plan.analyzers.resize(plan.netlists.size() * nsig);
   for (std::size_t v = 0; v < plan.variant_axis.size(); ++v) {
-    plan.maps[v].reserve(plan.wafers.size());
-    for (const WaferModel& wafer : plan.wafers) {
-      plan.maps[v].push_back(
-          plan.slots[v * nsig].analyzer->reticle_slot_maps(wafer));
+    const Variant& var = variants_[plan.variant_axis[v]];
+    for (std::size_t p = 0; p < npol; ++p) {
+      const Plan::NetlistSlot& ns = plan.netlists[v * npol + p];
+      for (std::size_t s = 0; s < nsig; ++s) {
+        auto analyzer = std::make_unique<YieldAnalyzer>(
+            *ns.design, *ns.sta, *plan.models[v * nsig + s], *var.plan,
+            *var.sensors, *ns.activity, var.clock_freq_ghz);
+        analyzer->set_portfolio(ns.compiled.stats);
+        plan.analyzers[(v * npol + p) * nsig + s] = std::move(analyzer);
+      }
+    }
+  }
+
+  // Systematic reticle-slot maps: computed once per (netlist, geometry)
+  // and shared read-only by every shard of the sweep — the sigma axis
+  // only touches the random component, never these maps.  Baseline maps
+  // are shared by every pure-VI mix of a variant; each transforming mix
+  // gets its own (its instance list differs).
+  plan.maps.resize(plan.variant_axis.size());
+  plan.policy_maps.resize(plan.netlists.size());
+  for (std::size_t v = 0; v < plan.variant_axis.size(); ++v) {
+    for (std::size_t p = 0; p < npol; ++p) {
+      const std::size_t ns = v * npol + p;
+      YieldAnalyzer& an = *plan.analyzers[ns * nsig];
+      if (!plan.netlists[ns].compiled.transformed()) {
+        if (plan.maps[v].empty()) {
+          plan.maps[v].reserve(plan.wafers.size());
+          for (const WaferModel& wafer : plan.wafers) {
+            plan.maps[v].push_back(an.reticle_slot_maps(wafer));
+          }
+        }
+      } else {
+        plan.policy_maps[ns].reserve(plan.wafers.size());
+        for (const WaferModel& wafer : plan.wafers) {
+          plan.policy_maps[ns].push_back(an.reticle_slot_maps(wafer));
+        }
+      }
     }
   }
 
   // Per-cell triage screens (empty unless spec.base.triage.enabled):
-  // cells differing only in policy recompute the same screen, which is
-  // side² canonical passes — negligible next to one shard's MC work.
+  // cells differing only in MC budget recompute the same screen, which
+  // is side² canonical passes — negligible next to one shard's MC work.
   plan.screens.resize(plan.cells.size());
   if (spec.base.triage.enabled) {
     for (const CampaignCell& cell : plan.cells) {
-      const std::size_t slot = cell.variant * nsig + cell.sigma;
-      plan.screens[cell.index] = plan.slots[slot].analyzer->triage_screen(
-          plan.wafers[cell.wafer_grid], cell.config,
-          plan.maps[cell.variant][cell.wafer_grid]);
+      plan.screens[cell.index] =
+          plan.analyzers[plan.analyzer_index(cell)]->triage_screen(
+              plan.wafers[cell.wafer_grid], cell.config, plan.maps_for(cell));
     }
   }
 
@@ -331,6 +414,20 @@ std::uint64_t CampaignRunner::spec_digest(const CampaignSpec& spec) const {
     f.str(p.name);
     f.flag(p.allow_escalation);
     f.flag(p.allow_chip_wide_fallback);
+    // Portfolio knobs (DESIGN.md §18): any of these changes which
+    // netlist a cell's dies fabricate on, so a checkpoint must not
+    // survive them.
+    f.flag(p.sizing.enabled);
+    f.f64(p.sizing.min_crit_prob);
+    f.i64(p.sizing.max_upsized);
+    f.i64(p.sizing.max_drive_steps);
+    f.flag(p.buffering.enabled);
+    f.f64(p.buffering.min_crit_prob);
+    f.i64(p.buffering.max_nets);
+    f.i64(p.buffering.min_fanout);
+    f.i64(p.buffering.cluster);
+    f.i64(p.crit_samples);
+    f.u64(p.crit_seed);
   }
   f.u64(spec.mc_samples.size());
   for (const int m : spec.mc_samples) f.i64(m);
@@ -435,7 +532,9 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec,
   report.variant_names = plan.variant_names;
   report.cells.reserve(plan.cells.size());
   for (const CampaignCell& cell : plan.cells) {
-    report.cells.push_back(CellResult{cell, YieldAggregate{}});
+    report.cells.push_back(CellResult{
+        cell, YieldAggregate{},
+        plan.netlists[plan.netlist_index(cell)].compiled.stats});
   }
   report.jobs_total = total;
 
@@ -467,15 +566,17 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec,
     }
   };
 
-  // Worker state: one {engine clone, controller} per (variant, sigma)
-  // model slot, built lazily on the first job that needs it.  The
-  // controller persists across every job the worker runs for that slot,
-  // so its per-level base-delay snapshots amortize NLDM delay calculation
-  // across the whole campaign (DESIGN.md §12).
+  // Worker state: one {engine clone, controller} per (variant, policy,
+  // sigma) analyzer slot, built lazily on the first job that needs it.
+  // The controller persists across every job the worker runs for that
+  // slot, so its per-level base-delay snapshots amortize NLDM delay
+  // calculation across the whole campaign (DESIGN.md §12) — on the
+  // policy's compiled netlist exactly as on the baseline.
   struct SlotState {
-    SlotState(const Variant& v, const VariationModel& model)
-        : engine(*v.sta),
-          ctrl(*v.design, engine, model, *v.plan, *v.sensors) {}
+    SlotState(const Design& design, const StaEngine& sta,
+              const VariationModel& model, const IslandPlan& plan,
+              const RazorPlan& sensors)
+        : engine(sta), ctrl(design, engine, model, plan, sensors) {}
     StaEngine engine;
     CompensationController ctrl;
   };
@@ -485,18 +586,20 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec,
   const std::size_t nsig = spec.sigma_scales.size();
   const auto make_state = [&] {
     WorkerState w;
-    w.slots.resize(plan.slots.size());
+    w.slots.resize(plan.analyzers.size());
     return w;
   };
   const auto body = [&](WorkerState& w, std::size_t k) {
     const std::size_t j = first + k;
     const Plan::Job& job = plan.jobs[j];
     const CampaignCell& cell = plan.cells[job.cell];
-    const std::size_t slot = cell.variant * nsig + cell.sigma;
+    const std::size_t slot = plan.analyzer_index(cell);
     if (!w.slots[slot]) {
+      const Variant& var = variants_[plan.variant_axis[cell.variant]];
+      const Plan::NetlistSlot& ns = plan.netlists[plan.netlist_index(cell)];
       w.slots[slot] = std::make_unique<SlotState>(
-          variants_[plan.variant_axis[cell.variant]],
-          *plan.slots[slot].model);
+          *ns.design, *ns.sta, *plan.models[cell.variant * nsig + cell.sigma],
+          *var.plan, *var.sensors);
     }
     SlotState& s = *w.slots[slot];
 
@@ -508,10 +611,9 @@ CampaignReport CampaignRunner::run(const CampaignSpec& spec,
     rec.wafer = job.wafer;
     rec.die_begin = job.die_begin;
     rec.die_end = job.die_end;
-    rec.agg = plan.slots[slot].analyzer->analyze_shard(
+    rec.agg = plan.analyzers[slot]->analyze_shard(
         s.engine, s.ctrl, plan.wafers[cell.wafer_grid], cfg, job.die_begin,
-        job.die_end, plan.maps[cell.variant][cell.wafer_grid],
-        plan.screens[job.cell]);
+        job.die_end, plan.maps_for(cell), plan.screens[job.cell]);
 
     std::lock_guard<std::mutex> lock(mu);
     pending.emplace(j, std::move(rec));

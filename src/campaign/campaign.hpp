@@ -47,13 +47,12 @@ namespace vipvt {
 
 class Flow;
 
-/// One value of the compensation-policy axis: which post-silicon levers
-/// the virtual fab may pull on a failing die.
-struct PolicyMix {
-  std::string name = "full";
-  bool allow_escalation = true;
-  bool allow_chip_wide_fallback = true;
-};
+// PolicyMix — the compensation-policy axis value — moved to
+// vi/policy.hpp (pulled in through yield/yield.hpp) when it grew the
+// design-side sizing/buffering knobs of the portfolio (DESIGN.md §18).
+// The campaign compiles each (variant, mix) pair once via
+// compile_policy_mix and runs every wafer of that cell on the compiled
+// netlist.
 
 /// Declarative sweep specification.  The cell grid is the cartesian
 /// product of the five axes, in fixed nesting order (outermost first):
@@ -126,10 +125,13 @@ struct CampaignCell {
 };
 
 /// Merged result of one cell: every wafer of the cell reduced into one
-/// partition-invariant aggregate.
+/// partition-invariant aggregate, plus what the cell's policy mix did to
+/// the netlist (identical for every wafer of the cell — compiled once
+/// per (variant, mix), DESIGN.md §18).
 struct CellResult {
   CampaignCell cell;
   YieldAggregate agg;
+  PortfolioStats portfolio{};
 };
 
 struct CampaignReport {

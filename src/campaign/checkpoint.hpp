@@ -31,8 +31,12 @@ inline constexpr std::string_view kCampaignStreamSchema =
 /// Version 2 added the triage tier tallies (tga/tgm, DESIGN.md §16) to
 /// shard records; version-1 streams are not resumable (the digest embeds
 /// the version, so resume refuses them loudly rather than silently
-/// zeroing the new fields).
-inline constexpr std::uint64_t kCampaignStreamVersion = 2;
+/// zeroing the new fields).  Version 3 covers the compensation-policy
+/// portfolio (DESIGN.md §18): the record format is unchanged, but the
+/// spec digest now hashes each policy's sizing/buffering knobs — which
+/// decide the netlist a cell's dies fabricate on — so version-2 streams
+/// are not resumable either.
+inline constexpr std::uint64_t kCampaignStreamVersion = 3;
 
 /// One completed wafer shard: job identity + full reducer state.
 struct ShardRecord {

@@ -29,7 +29,9 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
   const CampaignSpec& spec = report.spec;
   os << "{\n";
   os << "  \"schema\": \"vipvt.campaign.report\",\n";
-  os << "  \"version\": 1,\n";
+  // Version 2: policies carry the portfolio knobs and every cell gains a
+  // "portfolio" object (DESIGN.md §18).
+  os << "  \"version\": 2,\n";
   os << "  \"seed\": " << spec.seed << ",\n";
   os << "  \"complete\": " << (report.complete() ? "true" : "false") << ",\n";
 
@@ -61,7 +63,18 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
     os << (i ? ", " : "") << "{\"name\": \"" << p.name
        << "\", \"escalation\": " << (p.allow_escalation ? "true" : "false")
        << ", \"chip_wide_fallback\": "
-       << (p.allow_chip_wide_fallback ? "true" : "false") << "}";
+       << (p.allow_chip_wide_fallback ? "true" : "false")
+       << ", \"sizing\": " << (p.sizing.enabled ? "true" : "false")
+       << ", \"sizing_min_crit_prob\": " << num(p.sizing.min_crit_prob)
+       << ", \"sizing_max_upsized\": " << p.sizing.max_upsized
+       << ", \"sizing_max_drive_steps\": " << p.sizing.max_drive_steps
+       << ", \"buffering\": " << (p.buffering.enabled ? "true" : "false")
+       << ", \"buffering_min_crit_prob\": " << num(p.buffering.min_crit_prob)
+       << ", \"buffering_max_nets\": " << p.buffering.max_nets
+       << ", \"buffering_min_fanout\": " << p.buffering.min_fanout
+       << ", \"buffering_cluster\": " << p.buffering.cluster
+       << ", \"crit_samples\": " << p.crit_samples
+       << ", \"crit_seed\": " << p.crit_seed << "}";
   }
   os << "],\n";
 
@@ -115,6 +128,17 @@ void write_campaign_json(std::ostream& os, const CampaignReport& report) {
        << ", \"mc_converged_dies\": " << a.mc_converged_dies << ",\n";
     os << "     \"triage_analytical\": " << a.triage_analytical
        << ", \"triage_mc_fallback\": " << a.triage_mc_fallback << ",\n";
+
+    const PortfolioStats& pf = report.cells[c].portfolio;
+    os << "     \"portfolio\": {\"mix\": \"" << pf.mix
+       << "\", \"sizing\": " << (pf.sizing ? "true" : "false")
+       << ", \"buffering\": " << (pf.buffering ? "true" : "false")
+       << ", \"gates_upsized\": " << pf.gates_upsized
+       << ", \"buffers_inserted\": " << pf.buffers_inserted
+       << ", \"nets_buffered\": " << pf.nets_buffered
+       << ", \"crit_samples\": " << pf.crit_samples
+       << ", \"area_um2\": " << num(pf.area_um2)
+       << ", \"area_delta_um2\": " << num(pf.area_delta_um2) << "},\n";
 
     os << "     \"fmax_ghz\": ";
     write_moments_json(os, a.fmax_ghz);

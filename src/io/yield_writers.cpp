@@ -42,7 +42,7 @@ void write_yield_csv(std::ostream& os, const WaferModel& wafer,
         "field_y_mm,mc_severity,mc_samples,mc_stop,detected_severity,policy,"
         "islands_raised,timing_met,escalated,missed_violation,wns_all_low_ns,"
         "wns_final_ns,fmax_ghz,total_mw,leakage_mw,triage,triage_margin_ns,"
-        "triage_band_ns\n";
+        "triage_band_ns,policy_mix\n";
   for (const DieOutcome& d : report.dies) {
     const WaferDie& g = wafer.dies()[static_cast<std::size_t>(d.die_id)];
     os << d.die_id << ',' << wafer.grid_col(g) << ',' << wafer.grid_row(g)
@@ -56,7 +56,8 @@ void write_yield_csv(std::ostream& os, const WaferModel& wafer,
        << num(d.wns_all_low_ns) << ',' << num(d.wns_final_ns) << ','
        << num(d.fmax_ghz) << ',' << num(d.total_mw) << ','
        << num(d.leakage_mw) << ',' << triage_tier_name(d.triage_tier) << ','
-       << num(d.triage_margin_ns) << ',' << num(d.triage_band_ns) << '\n';
+       << num(d.triage_margin_ns) << ',' << num(d.triage_band_ns) << ','
+       << report.portfolio.mix << '\n';
   }
 }
 
@@ -87,6 +88,19 @@ void write_yield_json(std::ostream& os, const YieldReport& report) {
      << ", \"confidence\": " << num(report.config.triage.confidence)
      << ", \"band_scale\": " << num(report.config.triage.band_scale)
      << ", \"model_error_ns\": " << num(report.config.triage.model_error_ns)
+     << "},\n";
+  // Compensation-policy portfolio provenance (DESIGN.md §18): the
+  // default vi-only stamp when the analyzer runs on an untransformed
+  // netlist, so the schema never switches.
+  os << "  \"portfolio\": {\"mix\": \"" << report.portfolio.mix
+     << "\", \"sizing\": " << (report.portfolio.sizing ? "true" : "false")
+     << ", \"buffering\": " << (report.portfolio.buffering ? "true" : "false")
+     << ", \"gates_upsized\": " << report.portfolio.gates_upsized
+     << ", \"buffers_inserted\": " << report.portfolio.buffers_inserted
+     << ", \"nets_buffered\": " << report.portfolio.nets_buffered
+     << ", \"crit_samples\": " << report.portfolio.crit_samples
+     << ", \"area_um2\": " << num(report.portfolio.area_um2)
+     << ", \"area_delta_um2\": " << num(report.portfolio.area_delta_um2)
      << "},\n";
   os << "  \"seed\": " << report.config.seed << ",\n";
   os << "  \"total_dies\": " << report.total_dies() << ",\n";

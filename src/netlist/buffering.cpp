@@ -71,4 +71,99 @@ BufferingReport buffer_high_fanout(Design& design, int max_fanout) {
   return report;
 }
 
+BufferingReport buffer_critical_nets(Design& design,
+                                     std::span<const double> crit_prob,
+                                     const CriticalBufferConfig& cfg) {
+  if (crit_prob.size() != design.num_instances()) {
+    throw std::invalid_argument(
+        "buffer_critical_nets: crit_prob size != num_instances");
+  }
+  if (cfg.max_nets < 0 || cfg.min_fanout < 1 || cfg.cluster < 1) {
+    throw std::invalid_argument("buffer_critical_nets: bad knobs");
+  }
+  BufferingReport report;
+  const CellId buf = design.lib().cell_for(CellFunc::Buf);
+  const NetId num_original = design.num_nets();
+  const auto cluster = static_cast<std::size_t>(cfg.cluster);
+
+  for (NetId n = 0; n < num_original; ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+    report.max_fanout_before =
+        std::max(report.max_fanout_before, net.sinks.size());
+  }
+
+  // Candidate nets: cell-driven, placed driver, critical driver, sinks
+  // all in the driver's domain (a repeater inherits the driver's domain
+  // and must not sit on an unshifted crossing), not clock / PO.
+  std::vector<NetId> candidates;
+  for (NetId n = 0; n < num_original; ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock || net.is_primary_output) continue;
+    if (!net.has_cell_driver()) continue;
+    if (net.sinks.size() < static_cast<std::size_t>(cfg.min_fanout)) continue;
+    const Instance& drv = design.instance(net.driver.inst);
+    if (!drv.placed) continue;
+    if (crit_prob[net.driver.inst] < cfg.min_crit_prob) continue;
+    bool same_domain = true;
+    for (const auto& sink : net.sinks) {
+      if (design.instance(sink.inst).domain != drv.domain) {
+        same_domain = false;
+        break;
+      }
+    }
+    if (same_domain) candidates.push_back(n);
+  }
+  // Most-critical driver first, then fanout; stable sort leaves NetId
+  // order as the final deterministic tie-break.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NetId a, NetId b) {
+                     const double ca = crit_prob[design.net(a).driver.inst];
+                     const double cb = crit_prob[design.net(b).driver.inst];
+                     if (ca != cb) return ca > cb;
+                     return design.net(a).sinks.size() >
+                            design.net(b).sinks.size();
+                   });
+  if (candidates.size() > static_cast<std::size_t>(cfg.max_nets)) {
+    candidates.resize(static_cast<std::size_t>(cfg.max_nets));
+  }
+
+  std::size_t buffers = 0;
+  for (NetId n : candidates) {
+    ++report.nets_split;
+    // Capture driver attributes BY VALUE: add_net/add_instance may
+    // reallocate the instance/net vectors.
+    const Instance drv = design.instance(design.net(n).driver.inst);
+    const std::vector<PinConn> sinks = design.net(n).sinks;
+    for (std::size_t base = 0; base < sinks.size(); base += cluster) {
+      const std::size_t end = std::min(base + cluster, sinks.size());
+      const NetId leg =
+          design.add_net("crit_buf_net_" + std::to_string(buffers));
+      const InstId bi =
+          design.add_instance("crit_fbuf_" + std::to_string(buffers), buf,
+                              drv.stage, drv.unit, {n, leg});
+      // Zero-displacement ECO: the repeater sits at the driver's point
+      // and inherits its voltage domain, so placement and island plans
+      // stay valid without a placer rerun.
+      Instance& bref = design.instance(bi);
+      bref.pos = drv.pos;
+      bref.placed = true;
+      bref.domain = drv.domain;
+      ++buffers;
+      for (std::size_t k = base; k < end; ++k) {
+        design.move_sink(n, sinks[k], leg);
+      }
+    }
+  }
+  report.buffers_inserted = buffers;
+
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(n);
+    if (net.is_clock) continue;
+    report.max_fanout_after =
+        std::max(report.max_fanout_after, net.sinks.size());
+  }
+  return report;
+}
+
 }  // namespace vipvt

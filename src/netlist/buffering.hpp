@@ -7,6 +7,7 @@
 // instead of presenting pathological loads to a single driver.
 
 #include <cstddef>
+#include <span>
 
 #include "netlist/design.hpp"
 
@@ -23,5 +24,34 @@ struct BufferingReport {
 /// Inserted buffers inherit the driver's stage/unit (or the first sink's
 /// for port-driven nets).  Must run before placement.
 BufferingReport buffer_high_fanout(Design& design, int max_fanout = 12);
+
+/// Statistical buffering knob of the compensation-policy portfolio
+/// (DESIGN.md §18): split MC-critical nets behind repeaters.
+struct CriticalBufferConfig {
+  bool enabled = false;
+  /// Only nets whose DRIVER's MC criticality reaches this threshold are
+  /// candidates.
+  double min_crit_prob = 0.05;
+  /// At most this many nets are split per compile (area guard).
+  int max_nets = 16;
+  /// Nets below this fanout are not worth a repeater layer.
+  int min_fanout = 3;
+  /// Sinks per inserted buffer.
+  int cluster = 4;
+};
+
+/// Splits up to `cfg.max_nets` cell-driven nets, picked by the driving
+/// instance's criticality in `crit_prob` (descending, fanout then NetId
+/// as deterministic tie-breaks).  Runs POST-placement as a
+/// zero-displacement ECO: each buffer is placed AT its driver's point
+/// and inherits the driver's domain/stage/unit.  Legality: clock nets,
+/// primary-output nets, port-driven nets, unplaced drivers, and nets
+/// whose sinks span voltage domains are never touched (a repeater must
+/// not create an unshifted domain crossing).  Only original nets are
+/// candidates — inserted legs are never re-split.  Throws
+/// std::invalid_argument on bad sizes or degenerate knobs.
+BufferingReport buffer_critical_nets(Design& design,
+                                     std::span<const double> crit_prob,
+                                     const CriticalBufferConfig& cfg);
 
 }  // namespace vipvt

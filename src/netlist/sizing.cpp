@@ -1,6 +1,8 @@
 #include "netlist/sizing.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace vipvt {
@@ -70,6 +72,50 @@ SizingReport resize_for_wireload(Design& design, const SizingConfig& cfg) {
         break;
       }
     }
+  }
+  return report;
+}
+
+SizingReport upsize_critical(Design& design, std::span<const double> crit_prob,
+                             const CriticalSizingConfig& cfg) {
+  if (crit_prob.size() != design.num_instances()) {
+    throw std::invalid_argument(
+        "upsize_critical: crit_prob size != num_instances");
+  }
+  if (cfg.max_upsized < 0 || cfg.max_drive_steps < 1) {
+    throw std::invalid_argument("upsize_critical: bad knobs");
+  }
+  SizingReport report;
+  const Library& lib = design.lib();
+
+  std::vector<InstId> candidates;
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    const Cell& cell = design.cell_of(i);
+    if (cell.is_sequential() || cell.is_tie() || cell.is_level_shifter()) {
+      continue;
+    }
+    ++report.examined;
+    if (crit_prob[i] >= cfg.min_crit_prob) candidates.push_back(i);
+  }
+  // Most-critical first; stable sort keeps InstId order as the
+  // deterministic tie-break for equal probabilities.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](InstId a, InstId b) {
+                     return crit_prob[a] > crit_prob[b];
+                   });
+
+  for (InstId i : candidates) {
+    if (report.upsized >= static_cast<std::size_t>(cfg.max_upsized)) break;
+    Instance& inst = design.instance(i);
+    const auto family = drive_family(lib, lib.cell(inst.cell));
+    const auto pos = static_cast<std::size_t>(
+        std::find(family.begin(), family.end(), inst.cell) - family.begin());
+    const std::size_t target =
+        std::min(family.size() - 1,
+                 pos + static_cast<std::size_t>(cfg.max_drive_steps));
+    if (target == pos) continue;  // already at the top drive
+    inst.cell = family[target];
+    ++report.upsized;
   }
   return report;
 }

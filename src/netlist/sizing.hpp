@@ -9,6 +9,7 @@
 // measures) in RC.
 
 #include <cstddef>
+#include <span>
 
 #include "netlist/design.hpp"
 
@@ -32,5 +33,30 @@ struct SizingReport {
 /// consumes the final cell widths).  Preserves function and Vth class.
 SizingReport resize_for_wireload(Design& design,
                                  const SizingConfig& cfg = {});
+
+/// Statistical upsizing knob of the compensation-policy portfolio
+/// (DESIGN.md §18): push MC-critical gates up their drive family.
+struct CriticalSizingConfig {
+  bool enabled = false;
+  /// Only gates whose MC criticality probability reaches this threshold
+  /// are candidates.
+  double min_crit_prob = 0.05;
+  /// Area guard: at most this many gates are upsized per compile.
+  int max_upsized = 64;
+  /// Drive steps to climb within the (func, Vth) family per gate.
+  int max_drive_steps = 1;
+};
+
+/// Upsizes up to `cfg.max_upsized` combinational gates, picked from
+/// `crit_prob` (one entry per instance, from instance_criticality) in
+/// descending criticality with InstId as the deterministic tie-break.
+/// Each selected gate climbs `max_drive_steps` drives within its
+/// (function, Vth) family — function and Vth are preserved by
+/// construction, like resize_for_wireload.  Runs POST-placement as a
+/// zero-displacement ECO: positions are untouched and footprint growth
+/// is absorbed as ECO slack.  Throws std::invalid_argument when
+/// `crit_prob.size() != design.num_instances()`.
+SizingReport upsize_critical(Design& design, std::span<const double> crit_prob,
+                             const CriticalSizingConfig& cfg);
 
 }  // namespace vipvt

@@ -8,6 +8,13 @@
 // scenario, raise the pre-planned number of voltage islands, and verify
 // the result.  The chip-wide adaptive-supply baseline (raise everything
 // to high Vdd) is the comparison point for the power results in Fig. 5.
+//
+// The controller is the POST-SILICON member of the compensation-policy
+// portfolio (DESIGN.md §18): VI escalation works per fabricated die.
+// The design-side members — statistical gate upsizing and MC-criticality
+// buffer insertion — are compiled upstream into the netlist itself by
+// vi/policy (compile_policy_mix); the controller then runs unchanged on
+// the transformed design.
 
 #include <array>
 #include <memory>

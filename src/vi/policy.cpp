@@ -1,0 +1,101 @@
+#include "vi/policy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "vi/compensate.hpp"
+
+namespace vipvt {
+
+std::vector<double> instance_criticality(const Design& design,
+                                         const StaEngine& sta,
+                                         const VariationModel& model,
+                                         const DieLocation& loc, int samples,
+                                         std::uint64_t seed) {
+  if (samples < 1) {
+    throw std::invalid_argument("instance_criticality: samples < 1");
+  }
+  // A private engine copy: criticality is measured at the all-low supply
+  // (the corner where the yield cliff manifests), independent of whatever
+  // corner state the caller's engine happens to hold.
+  StaEngine eng = sta;
+  eng.compute_base_all_low();
+
+  std::vector<std::uint32_t> fail_count(design.num_instances(), 0);
+  std::vector<double> factors(design.num_instances());
+  for (int k = 0; k < samples; ++k) {
+    Rng rng(substream_seed(seed, static_cast<std::uint64_t>(k)));
+    const VirtualChip chip = fabricate_chip(design, model, loc, rng);
+    for (InstId i = 0; i < design.num_instances(); ++i) {
+      factors[i] = model.delay_factor(chip.lgate_nm[i], eng.inst_corner(i),
+                                      design.cell_of(i).vth);
+    }
+    const std::vector<double> slack = eng.instance_slack(factors);
+    for (InstId i = 0; i < design.num_instances(); ++i) {
+      if (slack[i] < 0.0) ++fail_count[i];
+    }
+  }
+
+  std::vector<double> crit(design.num_instances());
+  for (InstId i = 0; i < design.num_instances(); ++i) {
+    crit[i] = static_cast<double>(fail_count[i]) /
+              static_cast<double>(samples);
+  }
+  return crit;
+}
+
+CompiledPolicy compile_policy_mix(const PolicyMix& mix, const Design& base,
+                                  const StaEngine& base_sta,
+                                  const VariationModel& model,
+                                  const ActivityDb& base_activity) {
+  CompiledPolicy out;
+  out.stats.mix = mix.name;
+  out.stats.sizing = mix.sizing.enabled;
+  out.stats.buffering = mix.buffering.enabled;
+  out.stats.area_um2 = base.total_area();
+  if (!mix.transforms_design()) return out;  // pure-VI mix: alias baseline
+
+  out.stats.crit_samples = mix.crit_samples;
+  const std::vector<double> crit = instance_criticality(
+      base, base_sta, model, DieLocation::point('A'), mix.crit_samples,
+      mix.crit_seed);
+
+  auto design = std::make_unique<Design>(base);
+  if (mix.sizing.enabled) {
+    const SizingReport r = upsize_critical(*design, crit, mix.sizing);
+    out.stats.gates_upsized = r.upsized;
+  }
+  if (mix.buffering.enabled) {
+    const BufferingReport r =
+        buffer_critical_nets(*design, crit, mix.buffering);
+    out.stats.buffers_inserted = r.buffers_inserted;
+    out.stats.nets_buffered = r.nets_split;
+  }
+  design->check();
+  out.stats.area_delta_um2 = design->total_area() - out.stats.area_um2;
+  out.stats.area_um2 = design->total_area();
+
+  // Extend the activity database: each inserted buffer's leg toggles at
+  // its source net's rate (a buffer repeats its input).  The buffer's
+  // input is always an ORIGINAL net — buffer_critical_nets never
+  // re-splits a leg — so the source rate is already present.
+  auto activity = std::make_unique<ActivityDb>(base_activity);
+  activity->toggle_rate.resize(design->num_nets(), 0.0);
+  for (NetId n = static_cast<NetId>(base.num_nets());
+       n < design->num_nets(); ++n) {
+    const NetId src =
+        design->instance(design->net(n).driver.inst).conns[0];
+    activity->toggle_rate[n] = activity->toggle_rate[src];
+  }
+
+  auto sta = std::make_unique<StaEngine>(*design, base_sta.options());
+  sta->compute_base_all_low();
+
+  out.design = std::move(design);
+  out.sta = std::move(sta);
+  out.activity = std::move(activity);
+  return out;
+}
+
+}  // namespace vipvt

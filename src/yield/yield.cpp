@@ -439,6 +439,7 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   YieldReport report;
   report.wafer = wafer.config();
   report.config = cfg;
+  report.portfolio = portfolio_;
   const std::vector<WaferDie>& dies = wafer.dies();
   report.dies.resize(dies.size());
 

@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "power/power.hpp"
@@ -39,6 +40,7 @@
 #include "variation/mc_ssta.hpp"
 #include "vi/compensate.hpp"
 #include "vi/islands.hpp"
+#include "vi/policy.hpp"
 #include "vi/razor.hpp"
 #include "yield/wafer.hpp"
 
@@ -244,6 +246,10 @@ struct YieldReport {
   std::vector<std::size_t> speed_bin_count;
   double speed_bin_lo_ghz = 0.0;
   double speed_bin_step_ghz = 0.0;
+  /// Which compensation-policy mix produced this wafer's netlist and
+  /// what it did (DESIGN.md §18) — the default "vi-only" stats when the
+  /// analyzer runs on an untransformed design.
+  PortfolioStats portfolio{};
 
   std::size_t total_dies() const { return dies.size(); }
   std::size_t count(TuningPolicy p) const {
@@ -292,6 +298,12 @@ class YieldAnalyzer {
   /// plan_sensors() and simulate_activity() (throws otherwise — checked
   /// via the Flow's cheap state queries).
   static YieldAnalyzer from_flow(const Flow& flow);
+
+  /// Attach the compile_policy_mix stats of the netlist this analyzer
+  /// was built over (DESIGN.md §18); stamped into every report's
+  /// `portfolio` field.  Purely descriptive — per-die analysis never
+  /// reads it, so the default (vi-only) stamp changes no bits.
+  void set_portfolio(PortfolioStats stats) { portfolio_ = std::move(stats); }
 
   /// Analyze every die of the wafer.  `pool == nullptr` runs serially;
   /// any pool produces the identical report.
@@ -381,6 +393,7 @@ class YieldAnalyzer {
   /// per-net capacitance it precomputes never varies per die.
   PowerEngine power_;
   double clock_freq_ghz_;
+  PortfolioStats portfolio_{};
 };
 
 }  // namespace vipvt
