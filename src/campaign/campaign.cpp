@@ -342,14 +342,17 @@ void CampaignRunner::build_plan(const CampaignSpec& spec, Plan& plan) const {
     }
   }
 
-  // Per-cell triage screens (empty unless spec.base.triage.enabled):
+  // Per-cell analytic screens (empty unless a non-flat tier is on):
   // cells differing only in MC budget recompute the same screen, which
-  // is side² canonical passes — negligible next to one shard's MC work.
+  // is side² canonical (or macromodel) passes — negligible next to one
+  // shard's MC work.  Each analyzer slot caches its own macromodel
+  // library, so macro-tier cells sharing a (variant, policy, sigma)
+  // slot characterize once and reuse it across screens and shards.
   plan.screens.resize(plan.cells.size());
-  if (spec.base.triage.enabled) {
+  if (spec.base.effective_tier() != EvalTier::Flat) {
     for (const CampaignCell& cell : plan.cells) {
       plan.screens[cell.index] =
-          plan.analyzers[plan.analyzer_index(cell)]->triage_screen(
+          plan.analyzers[plan.analyzer_index(cell)]->tier_screen(
               plan.wafers[cell.wafer_grid], cell.config, plan.maps_for(cell));
     }
   }
@@ -454,6 +457,9 @@ std::uint64_t CampaignRunner::spec_digest(const CampaignSpec& spec) const {
   f.f64(b.triage.confidence);
   f.f64(b.triage.band_scale);
   f.f64(b.triage.model_error_ns);
+  f.i64(static_cast<std::int64_t>(b.tier));
+  f.i64(b.macro.knots);
+  f.f64(b.macro.grad_step);
   return f.h;
 }
 

@@ -122,7 +122,8 @@ std::string serialize_shard_record(const ShardRecord& r) {
       .u64("budget", r.agg.mc_samples_budget)
       .u64("conv", r.agg.mc_converged_dies)
       .u64("tga", r.agg.triage_analytical)
-      .u64("tgm", r.agg.triage_mc_fallback);
+      .u64("tgm", r.agg.triage_mc_fallback)
+      .u64("mac", r.agg.triage_macro);
   const auto moments = moment_fields(r.agg);
   for (std::size_t i = 0; i < kMomentPrefixes.size(); ++i) {
     put_moments(b, kMomentPrefixes[i], *moments[i]);
@@ -164,6 +165,7 @@ bool parse_shard_record(std::string_view line, ShardRecord& out) {
   if (!ndjson_find_u64(line, "conv", r.agg.mc_converged_dies)) return false;
   if (!ndjson_find_u64(line, "tga", r.agg.triage_analytical)) return false;
   if (!ndjson_find_u64(line, "tgm", r.agg.triage_mc_fallback)) return false;
+  if (!ndjson_find_u64(line, "mac", r.agg.triage_macro)) return false;
   const auto moments = moment_fields(r.agg);
   for (std::size_t i = 0; i < kMomentPrefixes.size(); ++i) {
     if (!get_moments(line, kMomentPrefixes[i], *moments[i])) return false;

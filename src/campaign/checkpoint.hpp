@@ -35,8 +35,10 @@ inline constexpr std::string_view kCampaignStreamSchema =
 /// portfolio (DESIGN.md §18): the record format is unchanged, but the
 /// spec digest now hashes each policy's sizing/buffering knobs — which
 /// decide the netlist a cell's dies fabricate on — so version-2 streams
-/// are not resumable either.
-inline constexpr std::uint64_t kCampaignStreamVersion = 3;
+/// are not resumable either.  Version 4 added the stage-macromodel tier
+/// (DESIGN.md §19): shard records gain the macro-decided tally (mac)
+/// and the digest hashes the tier selector plus the macromodel knobs.
+inline constexpr std::uint64_t kCampaignStreamVersion = 4;
 
 /// One completed wafer shard: job identity + full reducer state.
 struct ShardRecord {

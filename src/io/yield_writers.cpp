@@ -78,11 +78,14 @@ void write_yield_json(std::ostream& os, const YieldReport& report) {
   os << "  \"mc_sample_savings\": " << num(report.mc_sample_savings())
      << ",\n";
   os << "  \"mc_converged_dies\": " << report.mc_converged_dies << ",\n";
-  // Analytical triage accounting (DESIGN.md §16): both counts are 0 and
-  // the fraction 0 when triage is off, so the schema never switches.
+  // Analytic screen accounting (DESIGN.md §16 triage, §19 macromodel):
+  // all counts are 0, the fraction 0, and the tier "flat" when no
+  // screen is on, so the schema never switches.
   os << "  \"triage\": {\"enabled\": "
-     << (report.config.triage.enabled ? "true" : "false")
-     << ", \"analytical\": " << report.triage_analytical
+     << (report.config.effective_tier() != EvalTier::Flat ? "true" : "false")
+     << ", \"tier\": \"" << eval_tier_name(report.config.effective_tier())
+     << "\", \"analytical\": " << report.triage_analytical
+     << ", \"macro\": " << report.triage_macro
      << ", \"mc_fallback\": " << report.triage_mc_fallback
      << ", \"fraction\": " << num(report.triage_fraction())
      << ", \"confidence\": " << num(report.config.triage.confidence)

@@ -16,6 +16,16 @@ const char* triage_tier_name(TriageTier t) {
     case TriageTier::Off: return "off";
     case TriageTier::Analytical: return "analytical";
     case TriageTier::McFallback: return "mc-fallback";
+    case TriageTier::Macro: return "macro";
+  }
+  return "?";
+}
+
+const char* eval_tier_name(EvalTier t) {
+  switch (t) {
+    case EvalTier::Flat: return "flat";
+    case EvalTier::Triage: return "triage";
+    case EvalTier::Macro: return "macro";
   }
   return "?";
 }
@@ -85,6 +95,7 @@ void YieldAggregate::add(const DieOutcome& d, int num_islands,
   if (d.mc_stop == McStop::Converged) ++mc_converged_dies;
   if (d.triage_tier == TriageTier::Analytical) ++triage_analytical;
   if (d.triage_tier == TriageTier::McFallback) ++triage_mc_fallback;
+  if (d.triage_tier == TriageTier::Macro) ++triage_macro;
 }
 
 void YieldAggregate::merge(const YieldAggregate& other) {
@@ -114,6 +125,7 @@ void YieldAggregate::merge(const YieldAggregate& other) {
   mc_converged_dies += other.mc_converged_dies;
   triage_analytical += other.triage_analytical;
   triage_mc_fallback += other.triage_mc_fallback;
+  triage_macro += other.triage_macro;
   fmax_ghz.merge(other.fmax_ghz);
   wns_all_low_ns.merge(other.wns_all_low_ns);
   wns_final_ns.merge(other.wns_final_ns);
@@ -143,22 +155,32 @@ DieOutcome YieldAnalyzer::analyze_die(StaEngine& engine, const WaferDie& die,
   CompensationController ctrl(*design_, engine, *model_, *plan_, *sensors_);
   const std::vector<double> systematic =
       model_->systematic_lgates(*design_, die.location);
-  if (!cfg.triage.enabled) {
+  const EvalTier tier = cfg.effective_tier();
+  if (tier == EvalTier::Flat) {
     return analyze_die_with(engine, ctrl, die, cfg, systematic);
   }
-  // Single-die triage: screen this die's map exactly as the wafer path
-  // screens its reticle slot (level-0 corners), so the outcome is
+  // Single-die screening: screen this die's map exactly as the wafer
+  // path screens its reticle slot (level-0 corners), so the outcome is
   // bit-identical to the die's wafer-run outcome.
   ctrl.set_level(0);
-  const CanonicalSsta canon(*design_, engine, *model_);
-  const SlotTriage st = triage_slot(canon, systematic, cfg);
+  SlotTriage st;
+  if (tier == EvalTier::Macro) {
+    st = slot_verdict(macro_library(cfg.macro).evaluate(systematic), cfg);
+  } else {
+    const CanonicalSsta canon(*design_, engine, *model_);
+    st = triage_slot(canon, systematic, cfg);
+  }
   return analyze_die_with(engine, ctrl, die, cfg, systematic, &st);
 }
 
 SlotTriage YieldAnalyzer::triage_slot(const CanonicalSsta& canon,
                                       std::span<const double> systematic,
                                       const YieldConfig& cfg) const {
-  const CanonicalResult r = canon.run(systematic);
+  return slot_verdict(canon.run(systematic), cfg);
+}
+
+SlotTriage YieldAnalyzer::slot_verdict(const CanonicalResult& r,
+                                       const YieldConfig& cfg) const {
   const auto n = static_cast<std::size_t>(per_die_mc_budget(cfg.mc));
   const TriageConfig& tc = cfg.triage;
   SlotTriage out;
@@ -205,7 +227,7 @@ std::vector<SlotTriage> YieldAnalyzer::triage_screen(
     slot_maps = local_maps;
   }
   std::vector<SlotTriage> screen(slot_maps.size());
-  if (!cfg.triage.enabled) return screen;
+  if (cfg.effective_tier() != EvalTier::Triage) return screen;
   // Level-0 (all-low) corners: the exact supply state the MC population
   // pass runs at, so the analytic moments answer the same question.
   StaEngine engine(*sta_);
@@ -217,6 +239,51 @@ std::vector<SlotTriage> YieldAnalyzer::triage_screen(
     screen[s] = triage_slot(canon, slot_maps[s], cfg);
   }
   return screen;
+}
+
+const StageMacroLibrary& YieldAnalyzer::macro_library(
+    const MacroConfig& cfg) const {
+  std::lock_guard<std::mutex> lock(macro_mutex_);
+  if (macro_lib_ == nullptr || macro_key_.knots != cfg.knots ||
+      macro_key_.grad_step != cfg.grad_step) {
+    // Characterize at the level-0 (all-low) corner state — the supply
+    // state every screen asks about — on a private engine clone.
+    StaEngine engine(*sta_);
+    engine.compute_base_all_low();
+    macro_lib_ =
+        std::make_unique<StageMacroLibrary>(*design_, engine, *model_, cfg);
+    macro_key_ = cfg;
+  }
+  return *macro_lib_;
+}
+
+std::vector<SlotTriage> YieldAnalyzer::macro_screen(
+    const WaferModel& wafer, const YieldConfig& cfg,
+    std::span<const std::vector<double>> slot_maps) const {
+  std::vector<std::vector<double>> local_maps;
+  if (slot_maps.empty()) {
+    local_maps = reticle_slot_maps(wafer);
+    slot_maps = local_maps;
+  }
+  std::vector<SlotTriage> screen(slot_maps.size());
+  if (cfg.effective_tier() != EvalTier::Macro) return screen;
+  const StageMacroLibrary& lib = macro_library(cfg.macro);
+  for (std::size_t s = 0; s < slot_maps.size(); ++s) {
+    if (slot_maps[s].empty()) continue;
+    screen[s] = slot_verdict(lib.evaluate(slot_maps[s]), cfg);
+  }
+  return screen;
+}
+
+std::vector<SlotTriage> YieldAnalyzer::tier_screen(
+    const WaferModel& wafer, const YieldConfig& cfg,
+    std::span<const std::vector<double>> slot_maps) const {
+  switch (cfg.effective_tier()) {
+    case EvalTier::Triage: return triage_screen(wafer, cfg, slot_maps);
+    case EvalTier::Macro: return macro_screen(wafer, cfg, slot_maps);
+    case EvalTier::Flat: break;
+  }
+  return {};
 }
 
 DieOutcome YieldAnalyzer::analyze_die_with(
@@ -238,9 +305,11 @@ DieOutcome YieldAnalyzer::analyze_die_with(
   // — but still consumes the would-be MC seed so every downstream draw
   // (fabrication) stays bit-identical to the MC path.
   ctrl.set_level(0);
-  if (cfg.triage.enabled && triage != nullptr && triage->decided) {
+  const EvalTier tier = cfg.effective_tier();
+  if (tier != EvalTier::Flat && triage != nullptr && triage->decided) {
     (void)die_rng.next();  // the MC seed the skipped run would have taken
-    out.triage_tier = TriageTier::Analytical;
+    out.triage_tier = tier == EvalTier::Macro ? TriageTier::Macro
+                                              : TriageTier::Analytical;
     out.triage_margin_ns = triage->margin_ns;
     out.triage_band_ns = triage->band_ns;
     out.mc_severity = triage->severity;
@@ -260,7 +329,7 @@ DieOutcome YieldAnalyzer::analyze_die_with(
           percentile(mc.min_period_samples, cfg.speed_percentile);
       if (period_ns > 0.0) out.fmax_ghz = 1.0 / period_ns;
     }
-    if (cfg.triage.enabled) {
+    if (tier != EvalTier::Flat) {
       out.triage_tier = TriageTier::McFallback;
       if (triage != nullptr) {
         out.triage_margin_ns = triage->margin_ns;
@@ -358,8 +427,8 @@ YieldAggregate YieldAnalyzer::analyze_shard(
   // computing it locally folds the exact bits a shared one carries —
   // shard results never depend on what the caller precomputed.
   std::vector<SlotTriage> local_screen;
-  if (cfg.triage.enabled && screen.empty()) {
-    local_screen = triage_screen(wafer, cfg, slot_maps);
+  if (cfg.effective_tier() != EvalTier::Flat && screen.empty()) {
+    local_screen = tier_screen(wafer, cfg, slot_maps);
     screen = local_screen;
   }
   YieldAggregate agg;
@@ -389,11 +458,13 @@ void YieldAnalyzer::aggregate(YieldReport& report) const {
   report.mc_converged_dies = 0;
   report.triage_analytical = 0;
   report.triage_mc_fallback = 0;
+  report.triage_macro = 0;
   for (const DieOutcome& d : report.dies) {
     report.mc_samples_drawn += static_cast<std::size_t>(std::max(d.mc_samples, 0));
     if (d.mc_stop == McStop::Converged) ++report.mc_converged_dies;
     if (d.triage_tier == TriageTier::Analytical) ++report.triage_analytical;
     if (d.triage_tier == TriageTier::McFallback) ++report.triage_mc_fallback;
+    if (d.triage_tier == TriageTier::Macro) ++report.triage_macro;
   }
   for (const DieOutcome& d : report.dies) {
     const auto p = static_cast<std::size_t>(d.policy);
@@ -444,12 +515,10 @@ YieldReport YieldAnalyzer::analyze(const WaferModel& wafer,
   report.dies.resize(dies.size());
 
   const std::vector<std::vector<double>> slot_maps = reticle_slot_maps(wafer);
-  // One analytic screen per wafer (empty when triage is off), shared
-  // read-only by every worker — side² canonical passes up front buy MC
-  // skips on every decided die.
-  const std::vector<SlotTriage> screen =
-      cfg.triage.enabled ? triage_screen(wafer, cfg, slot_maps)
-                         : std::vector<SlotTriage>{};
+  // One screen per wafer (empty on the flat tier), shared read-only by
+  // every worker: side² canonical passes (§16) or side² macromodel
+  // interpolations (§19) up front buy MC skips on every decided die.
+  const std::vector<SlotTriage> screen = tier_screen(wafer, cfg, slot_maps);
   const auto slot_of = [&wafer](const WaferDie& d) {
     return reticle_slot(wafer, d);
   };

@@ -34,7 +34,11 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+#include <mutex>
+
 #include "power/power.hpp"
+#include "ssta/macromodel.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "variation/mc_ssta.hpp"
@@ -62,13 +66,27 @@ const char* tuning_policy_name(TuningPolicy p);
 /// high, 'X' discard.
 char tuning_policy_glyph(TuningPolicy p, int islands_raised);
 
-/// Which tier decided a die's population statistics (DESIGN.md §16).
+/// Which tier decided a die's population statistics (DESIGN.md §16/§19).
 enum class TriageTier : std::uint8_t {
   Off = 0,     ///< triage disabled: the die ran the full MC path
   Analytical,  ///< canonical-SSTA margin cleared the band; MC skipped
   McFallback,  ///< margin inside the band; adaptive MC ran unchanged
+  Macro,       ///< stage-macromodel margin cleared the band; MC skipped
 };
 const char* triage_tier_name(TriageTier t);
+
+/// How a die's population statistics are evaluated (DESIGN.md §19):
+/// Flat runs per-die MC on the full gate graph; Triage screens reticle
+/// slots with one flat canonical pass each (§16); Macro screens them by
+/// interpolating pre-characterized stage macromodels — no per-slot graph
+/// propagation at all.  Triage and Macro share the TriageConfig band and
+/// fall back to the identical MC path on undecided slots.
+enum class EvalTier : std::uint8_t {
+  Flat = 0,
+  Triage,
+  Macro,
+};
+const char* eval_tier_name(EvalTier t);
 
 /// Analytical canonical-SSTA triage (DESIGN.md §16): before paying a
 /// die's MC budget, one canonical-form pass produces per-stage
@@ -117,6 +135,21 @@ struct YieldConfig {
   /// (mc_severity, fmax) on dies it decides, and consumes the same RNG
   /// stream positions so fabrication stays aligned.
   TriageConfig triage{};
+  /// Evaluation tier (DESIGN.md §19).  Flat honors the legacy
+  /// triage.enabled flag (effective_tier()); Macro screens slots through
+  /// the stage macromodel with the same band/fallback contract as
+  /// Triage, including the RNG-position guarantee above.
+  EvalTier tier = EvalTier::Flat;
+  /// Macromodel characterization knobs (used when the effective tier is
+  /// Macro); part of the analyzer's library cache key.
+  MacroConfig macro{};
+
+  /// Resolves the legacy triage.enabled flag: an explicit tier wins,
+  /// otherwise triage.enabled selects Triage.
+  EvalTier effective_tier() const {
+    if (tier == EvalTier::Flat && triage.enabled) return EvalTier::Triage;
+    return tier;
+  }
 };
 
 struct DieOutcome {
@@ -188,10 +221,12 @@ struct YieldAggregate {
   std::uint64_t mc_samples_drawn = 0;
   std::uint64_t mc_samples_budget = 0;
   std::uint64_t mc_converged_dies = 0;
-  /// Triage tier tallies (DESIGN.md §16): dies decided analytically vs
-  /// dies that fell back to MC.  Both 0 when triage is off.
+  /// Tier tallies (DESIGN.md §16/§19): dies decided analytically, dies
+  /// decided by the stage macromodel, dies that fell back to MC.  All 0
+  /// on the flat tier.
   std::uint64_t triage_analytical = 0;
   std::uint64_t triage_mc_fallback = 0;
+  std::uint64_t triage_macro = 0;
   ExactMoments fmax_ghz;  ///< over shipped dies with fmax > 0
   ExactMoments wns_all_low_ns;  ///< over all dies
   ExactMoments wns_final_ns;    ///< over all dies
@@ -238,9 +273,10 @@ struct YieldReport {
   /// Dies whose adaptive run stopped on McStop::Converged (0 for fixed
   /// runs, where every die reports FixedBudget).
   std::size_t mc_converged_dies = 0;
-  /// Triage tier tallies (DESIGN.md §16); both 0 when triage is off.
+  /// Tier tallies (DESIGN.md §16/§19); all 0 on the flat tier.
   std::size_t triage_analytical = 0;
   std::size_t triage_mc_fallback = 0;
+  std::size_t triage_macro = 0;
   /// Speed-bin histogram over shipped-die fmax: bin i spans
   /// [lo + i*step, lo + (i+1)*step).
   std::vector<std::size_t> speed_bin_count;
@@ -273,10 +309,11 @@ struct YieldReport {
                : 1.0 - static_cast<double>(mc_samples_drawn) /
                            static_cast<double>(mc_samples_budget);
   }
-  /// Fraction of dies the analytic tier decided (0 when triage is off).
+  /// Fraction of dies a screen decided without MC — analytical (§16)
+  /// plus macromodel (§19) verdicts (0 on the flat tier).
   double triage_fraction() const {
     return dies.empty() ? 0.0
-                        : static_cast<double>(triage_analytical) /
+                        : static_cast<double>(triage_analytical + triage_macro) /
                               static_cast<double>(dies.size());
   }
   /// Glyph string indexed by die id, for WaferModel::ascii_map().
@@ -347,6 +384,31 @@ class YieldAnalyzer {
       const WaferModel& wafer, const YieldConfig& cfg,
       std::span<const std::vector<double>> slot_maps = {}) const;
 
+  /// The macromodel screen of every reticle slot (DESIGN.md §19): same
+  /// shape and decision rule as triage_screen, but each slot's moments
+  /// come from StageMacroLibrary::evaluate on the cached library instead
+  /// of a flat canonical pass.  Characterization happens lazily on first
+  /// use (per analyzer, keyed by cfg.macro) and is amortized across
+  /// every wafer/cell this analyzer screens.
+  std::vector<SlotTriage> macro_screen(
+      const WaferModel& wafer, const YieldConfig& cfg,
+      std::span<const std::vector<double>> slot_maps = {}) const;
+
+  /// The screen for cfg.effective_tier(): triage_screen, macro_screen,
+  /// or an empty vector on the flat tier.  What analyze(), the campaign
+  /// planner, and shard fallbacks all route through.
+  std::vector<SlotTriage> tier_screen(
+      const WaferModel& wafer, const YieldConfig& cfg,
+      std::span<const std::vector<double>> slot_maps = {}) const;
+
+  /// The lazily characterized stage-macromodel library for cfg.macro
+  /// (characterized once per analyzer at the all-low corner state;
+  /// re-characterized only when cfg.macro changes — the macro-tier cache
+  /// the campaign layer keys per (variant, policy, sigma) analyzer
+  /// slot).  Thread-safe; the returned reference lives as long as the
+  /// analyzer and the key stays unchanged.
+  const StageMacroLibrary& macro_library(const MacroConfig& cfg) const;
+
   /// Dense reticle-slot index of a die: die_iy * dies_per_field_side +
   /// die_ix.  All dies of a slot share one systematic Lgate map.
   static std::size_t reticle_slot(const WaferModel& wafer, const WaferDie& die);
@@ -382,6 +444,10 @@ class YieldAnalyzer {
   SlotTriage triage_slot(const CanonicalSsta& canon,
                          std::span<const double> systematic,
                          const YieldConfig& cfg) const;
+  /// The shared margin-vs-band decision applied to analytic stage
+  /// moments from either tier (§16 canonical pass or §19 macromodel).
+  SlotTriage slot_verdict(const CanonicalResult& res,
+                          const YieldConfig& cfg) const;
 
   const Design* design_;
   const StaEngine* sta_;
@@ -394,6 +460,12 @@ class YieldAnalyzer {
   PowerEngine power_;
   double clock_freq_ghz_;
   PortfolioStats portfolio_{};
+  /// Lazy per-analyzer macromodel cache (DESIGN.md §19): characterized
+  /// at the all-low corner state on first macro_library() call, reused
+  /// until the MacroConfig key changes.
+  mutable std::mutex macro_mutex_;
+  mutable std::unique_ptr<StageMacroLibrary> macro_lib_;
+  mutable MacroConfig macro_key_{};
 };
 
 }  // namespace vipvt

@@ -167,6 +167,45 @@ TEST_F(CampaignFixture, ReportBytesInvariantAcrossShardSizeAndThreads) {
       << "shard_dies=2 threads=4";
 }
 
+/// Macro-tier campaigns (DESIGN.md §19): the per-cell screen comes from
+/// the analyzer slot's cached macromodel library, macro tallies flow
+/// into the cell aggregates, and the report stays byte-invariant across
+/// shard sizes and thread counts.  The spec digest covers the tier
+/// selector and the macromodel knobs, so checkpoints can't cross tiers.
+TEST_F(CampaignFixture, MacroTierCampaignIsShardInvariantAndDigested) {
+  CampaignSpec spec = tiny_spec();
+  spec.wafers_per_cell = 1;
+  spec.sigma_scales = {1.0};
+  spec.policies = {PolicyMix{"full", true, true}};
+  spec.base.tier = EvalTier::Macro;
+
+  CampaignSpec flat = spec;
+  flat.base.tier = EvalTier::Flat;
+  EXPECT_NE(runner_->spec_digest(spec), runner_->spec_digest(flat));
+  CampaignSpec knots = spec;
+  knots.base.macro.knots = 5;
+  EXPECT_NE(runner_->spec_digest(spec), runner_->spec_digest(knots));
+
+  const CampaignReport whole = runner_->run(spec);
+  std::uint64_t macro_decided = 0;
+  for (const CellResult& cell : whole.cells) {
+    macro_decided += cell.agg.triage_macro;
+    EXPECT_EQ(cell.agg.triage_macro + cell.agg.triage_mc_fallback,
+              cell.agg.dies);
+  }
+  EXPECT_GT(macro_decided, 0u);
+
+  const std::string baseline = report_bytes(whole);
+  ThreadPool pool(3);
+  for (const int shard : {2, 5}) {
+    spec.shard_dies = shard;
+    CampaignRunOptions opts;
+    opts.pool = &pool;
+    EXPECT_EQ(report_bytes(runner_->run(spec, opts)), baseline)
+        << "shard_dies=" << shard;
+  }
+}
+
 TEST_F(CampaignFixture, ShardPartitionMergeMatchesSinglePass) {
   // Merging per-shard aggregates of ANY partition must reproduce the
   // one-shot aggregate bit-for-bit (compared through the exact

@@ -322,6 +322,51 @@ TEST_F(YieldFixture, AdaptiveReportBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serialize(*wafer_, serial), serialize(*wafer_, pooled));
 }
 
+/// Every evaluation tier — flat MC, analytic triage (§16), adaptive MC
+/// (§14), stage macromodel (§19) — consumes the identical per-die RNG
+/// positions, so the silicon-side outputs (fabrication, compensation,
+/// power) are bit-identical whichever tier screened the die.
+TEST_F(YieldFixture, AllTiersKeepIdenticalRngPositionsForSiliconBits) {
+  const YieldAnalyzer analyzer = YieldAnalyzer::from_flow(*flow_);
+  const auto silicon_bits = [](const YieldReport& r) {
+    std::ostringstream os;
+    for (const DieOutcome& d : r.dies) {
+      os << d.die_id << ' ' << d.detected_severity << ' ' << d.islands_raised
+         << ' ' << static_cast<int>(d.policy) << ' ' << d.timing_met << ' '
+         << d.escalated << ' ' << d.missed_violation << ' '
+         << std::hexfloat << d.wns_all_low_ns << ' ' << d.wns_final_ns << ' '
+         << d.total_mw << ' ' << d.leakage_mw << std::defaultfloat << '\n';
+    }
+    return os.str();
+  };
+  const YieldReport flat = analyzer.analyze(*wafer_, test_yield_config());
+
+  YieldConfig triage_cfg = test_yield_config();
+  triage_cfg.tier = EvalTier::Triage;
+  const YieldReport triage = analyzer.analyze(*wafer_, triage_cfg);
+  EXPECT_GT(triage.triage_analytical, 0u);
+
+  YieldConfig adaptive_cfg = test_yield_config();
+  adaptive_cfg.mc.adaptive.enabled = true;
+  adaptive_cfg.mc.adaptive.min_samples = 8;
+  adaptive_cfg.mc.adaptive.max_samples = 48;
+  adaptive_cfg.mc.adaptive.check_every_batches = 1;
+  adaptive_cfg.mc.adaptive.mean_half_width_ns = 1e9;
+  adaptive_cfg.mc.adaptive.sigma_half_width_ns = 1e9;
+  const YieldReport adaptive = analyzer.analyze(*wafer_, adaptive_cfg);
+  EXPECT_GT(adaptive.mc_converged_dies, 0u);
+
+  YieldConfig macro_cfg = test_yield_config();
+  macro_cfg.tier = EvalTier::Macro;
+  const YieldReport macro = analyzer.analyze(*wafer_, macro_cfg);
+  EXPECT_GT(macro.triage_macro, 0u);
+
+  const std::string want = silicon_bits(flat);
+  EXPECT_EQ(silicon_bits(triage), want);
+  EXPECT_EQ(silicon_bits(adaptive), want);
+  EXPECT_EQ(silicon_bits(macro), want);
+}
+
 TEST_F(YieldFixture, CsvHasOneRowPerDie) {
   std::ostringstream os;
   write_yield_csv(os, *wafer_, *report_);
